@@ -1,0 +1,88 @@
+// Ablation study of DELTA's tuning knobs (Table II bottom row) on a
+// representative 16-core mix.  Not a paper figure — DESIGN.md calls these
+// out as the design choices worth isolating:
+//   * gainThreshold   — how eager tiles are to challenge;
+//   * interDeltaWays  — granularity of inter-bank capacity grants;
+//   * intraDeltaWays  — granularity of intra-bank fine-tuning;
+//   * i_inter         — challenge frequency;
+//   * UMON decay      — monitoring memory horizon (via coarse_ways too).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace delta;
+
+double delta_speedup(sim::MachineConfig cfg, const workload::Mix& mix) {
+  const sim::MixResult snuca = sim::run_mix(cfg, mix, sim::SchemeKind::kSnuca);
+  const sim::MixResult dlt = sim::run_mix(cfg, mix, sim::SchemeKind::kDelta);
+  return sim::speedup(dlt, snuca);
+}
+
+}  // namespace
+
+int main() {
+  using namespace delta;
+  bench::print_header("Ablation — DELTA parameter sensitivity (mix w6, 16 cores)",
+                      "DESIGN.md ablation index (not a paper figure)");
+
+  sim::MachineConfig base = sim::config16();
+  base.warmup_epochs = 40;
+  base.measure_epochs = 150;
+  const workload::Mix mix = sim::mix_for_config(base, "w6");
+
+  {
+    TextTable t({"gainThreshold", "speedup vs snuca"});
+    for (double thr : {0.0, 0.25, 0.5, 1.0, 2.0, 8.0}) {
+      sim::MachineConfig cfg = base;
+      cfg.delta.gain_threshold = thr;
+      t.add_row({fmt(thr, 2), fmt(delta_speedup(cfg, mix), 3)});
+      std::fflush(stdout);
+    }
+    std::printf("\n%s", t.str().c_str());
+  }
+  {
+    TextTable t({"interDeltaWays", "speedup"});
+    for (int w : {1, 2, 4, 8}) {
+      sim::MachineConfig cfg = base;
+      cfg.delta.inter_delta_ways = w;
+      t.add_row({std::to_string(w), fmt(delta_speedup(cfg, mix), 3)});
+      std::fflush(stdout);
+    }
+    std::printf("\n%s", t.str().c_str());
+  }
+  {
+    TextTable t({"intraDeltaWays", "speedup"});
+    for (int w : {1, 2, 4}) {
+      sim::MachineConfig cfg = base;
+      cfg.delta.intra_delta_ways = w;
+      t.add_row({std::to_string(w), fmt(delta_speedup(cfg, mix), 3)});
+      std::fflush(stdout);
+    }
+    std::printf("\n%s", t.str().c_str());
+  }
+  {
+    TextTable t({"i_inter (ms)", "speedup"});
+    for (int epochs : {5, 10, 20, 50, 100}) {
+      sim::MachineConfig cfg = base;
+      cfg.delta.inter_interval_epochs = epochs;
+      t.add_row({fmt(epochs * 0.1, 1), fmt(delta_speedup(cfg, mix), 3)});
+      std::fflush(stdout);
+    }
+    std::printf("\n%s", t.str().c_str());
+  }
+  {
+    TextTable t({"UMON coarse_ways", "speedup"});
+    for (int cw : {1, 2, 4, 8, 16}) {
+      sim::MachineConfig cfg = base;
+      cfg.umon.coarse_ways = cw;
+      t.add_row({std::to_string(cw), fmt(delta_speedup(cfg, mix), 3)});
+      std::fflush(stdout);
+    }
+    std::printf("\n%s", t.str().c_str());
+    std::printf("\n(paper Sec. II-B3: the coarse 4-way counters trade counter storage\n"
+                "for window resolution; the ablation shows the performance cost.)\n");
+  }
+  return 0;
+}

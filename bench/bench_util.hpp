@@ -1,0 +1,44 @@
+// Shared plumbing for the figure/table reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/runner.hpp"
+
+namespace delta::bench {
+
+/// Mix names of Table IV in order.
+inline std::vector<std::string> all_mix_names() {
+  std::vector<std::string> names;
+  for (const auto& m : workload::table4_mixes()) names.push_back(m.name);
+  return names;
+}
+
+/// Runs all four schemes on `mix_name` at the given machine size.
+inline sim::SchemeComparison run_comparison(const sim::MachineConfig& cfg,
+                                            const std::string& mix_name) {
+  const workload::Mix mix = sim::mix_for_config(cfg, mix_name);
+  return sim::compare_schemes(cfg, mix);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Geomean-of-speedups summary line across mixes.
+inline void print_speedup_summary(const std::string& label,
+                                  const std::vector<double>& speedups) {
+  std::vector<double> v = speedups;
+  double max = 0.0;
+  for (double s : v) max = std::max(max, s);
+  std::printf("%-16s geomean %+.1f%%  max %+.1f%%\n", label.c_str(),
+              (geomean(v) - 1.0) * 100.0, (max - 1.0) * 100.0);
+}
+
+}  // namespace delta::bench

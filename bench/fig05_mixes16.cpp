@@ -1,0 +1,39 @@
+// Figure 5: performance of the 15 Table IV workload mixes on the 16-core
+// CMP, normalized to unpartitioned S-NUCA.
+//
+// Paper result: DELTA +9% geomean (max +16%); ideal centralized +12%
+// (max +22%); private +3%.  Expected reproduction: same ordering
+// (S-NUCA < private < DELTA < ideal) with comparable magnitudes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace delta;
+  bench::print_header("Fig. 5 — 16-core multi-programmed mixes",
+                      "Sec. IV-A, Fig. 5");
+
+  const sim::MachineConfig cfg = sim::config16();
+  TextTable table({"mix", "private", "ideal", "delta"});
+  std::vector<double> sp_priv, sp_ideal, sp_delta;
+
+  for (const std::string& name : bench::all_mix_names()) {
+    const sim::SchemeComparison c = bench::run_comparison(cfg, name);
+    const double p = sim::speedup(c.private_llc, c.snuca);
+    const double i = sim::speedup(c.ideal, c.snuca);
+    const double d = sim::speedup(c.delta, c.snuca);
+    sp_priv.push_back(p);
+    sp_ideal.push_back(i);
+    sp_delta.push_back(d);
+    table.add_row({name, fmt(p, 3), fmt(i, 3), fmt(d, 3)});
+    std::fflush(stdout);
+  }
+
+  std::printf("\nSpeedup over unpartitioned S-NUCA (1.000 = parity):\n%s\n",
+              table.str().c_str());
+  bench::print_speedup_summary("private", sp_priv);
+  bench::print_speedup_summary("ideal-central", sp_ideal);
+  bench::print_speedup_summary("delta", sp_delta);
+  std::printf("\npaper: private +3%% | ideal +12%% (max +22%%) | delta +9%% (max +16%%)\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table V: percentage of private pages and private blocks per SPLASH2
+// application, measured by streaming each synthetic generator through the
+// sharing instrumentation (the paper's pintool equivalent).
+//
+// Targets marked '~' are estimates: the block row of Table V is partially
+// unreadable in our source text and was gap-filled (see DESIGN.md).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workload/splash.hpp"
+
+int main() {
+  using namespace delta;
+  bench::print_header("Table V — private pages/blocks per SPLASH2 app",
+                      "Sec. IV-C, Table V");
+
+  TextTable table({"app", "pages% (meas)", "pages% (paper)", "blocks% (meas)",
+                   "blocks% (paper)"});
+  for (const auto& p : workload::splash_profiles()) {
+    const workload::SharingMeasurement m = workload::measure_sharing(p, 800'000, 7);
+    table.add_row({p.name, fmt(m.private_pages_pct, 1),
+                   fmt(p.target_private_pages_pct, 1), fmt(m.private_blocks_pct, 1),
+                   (p.block_target_estimated ? "~" : "") +
+                       fmt(p.target_private_blocks_pct, 1)});
+  }
+  std::printf("\n%s\n", table.str().c_str());
+  return 0;
+}

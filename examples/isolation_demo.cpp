@@ -1,0 +1,49 @@
+// Performance-isolation demo (the abstract's QoS claim): a cache-sensitive
+// victim (sphinx3) shares the chip with an increasing number of thrashers
+// (libquantum).  Under unpartitioned S-NUCA the thrashers destroy the
+// victim's LLC contents; DELTA's strict partitions contain them.
+//
+//   $ ./isolation_demo
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace delta;
+  sim::MachineConfig cfg = sim::config16();
+  cfg.warmup_epochs = 40;
+  cfg.measure_epochs = 150;
+
+  std::printf("victim: sphinx3 on tile 5; aggressors: libquantum copies.\n\n");
+  TextTable table({"thrashers", "victim ipc (snuca)", "victim ipc (delta)",
+                   "snuca loss", "delta loss"});
+
+  double base_snuca = 0.0, base_delta = 0.0;
+  for (int thrashers : {0, 4, 8, 12}) {
+    std::vector<std::string> apps(16, "idle");
+    apps[5] = "sp";
+    for (int i = 0; i < thrashers; ++i) apps[(6 + i) % 16 == 5 ? 15 : (6 + i) % 16] = "li";
+
+    workload::Mix mix;
+    mix.name = "iso" + std::to_string(thrashers);
+    mix.apps = apps;
+    const sim::MixResult snuca = sim::run_mix(cfg, mix, sim::SchemeKind::kSnuca);
+    const sim::MixResult dlt = sim::run_mix(cfg, mix, sim::SchemeKind::kDelta);
+    const double vs = snuca.apps[5].ipc;
+    const double vd = dlt.apps[5].ipc;
+    if (thrashers == 0) {
+      base_snuca = vs;
+      base_delta = vd;
+    }
+    table.add_row({std::to_string(thrashers), fmt(vs, 3), fmt(vd, 3),
+                   fmt(100.0 * (1.0 - vs / base_snuca), 1) + "%",
+                   fmt(100.0 * (1.0 - vd / base_delta), 1) + "%"});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("DELTA bounds the victim's degradation (strict insertion masks keep\n"
+              "the thrashers out of its ways); S-NUCA offers no such protection.\n");
+  return 0;
+}

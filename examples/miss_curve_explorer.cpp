@@ -1,0 +1,56 @@
+// Explore a synthetic SPEC profile: stand-alone IPC at the Sec. III-B
+// classification points, the UMON miss curve, and the resulting class.
+//
+//   $ ./miss_curve_explorer            # defaults to xalancbmk
+//   $ ./miss_curve_explorer mcf
+#include <cstdio>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "umon/umon.hpp"
+#include "workload/classify.hpp"
+#include "workload/generator.hpp"
+#include "workload/spec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace delta;
+  const std::string name = argc > 1 ? argv[1] : "xa";
+  if (!workload::has_spec_profile(name)) {
+    std::fprintf(stderr, "unknown app '%s'; known apps:\n", name.c_str());
+    for (const auto& p : workload::spec_profiles())
+      std::fprintf(stderr, "  %-4s %s\n", p.short_name.c_str(), p.name.c_str());
+    return 1;
+  }
+  const workload::AppProfile& p = workload::spec_profile(name);
+  std::printf("%s (%s), class %s, footprint %.1f MB\n", p.name.c_str(),
+              p.short_name.c_str(), to_string(p.cls).c_str(),
+              static_cast<double>(p.footprint_bytes()) / (1 << 20));
+
+  // Classification points.
+  const workload::ClassifyResult r = workload::classify(p);
+  std::printf("\nSec. III-B classification:\n");
+  std::printf("  ipc @128KB = %.3f   @512KB = %.3f (%+.1f%%)   @8MB = %.3f (%+.1f%%)\n",
+              r.ipc_128k, r.ipc_512k, r.improvement_low * 100.0, r.ipc_8m,
+              r.improvement_med * 100.0);
+  std::printf("  MPKI @8MB = %.2f  =>  class %s\n", r.mpki_8m,
+              to_string(r.cls).c_str());
+
+  // UMON miss curve as an ASCII sparkline over 0..192 ways (32 KB per way).
+  umon::UmonConfig ucfg;
+  ucfg.max_ways = 192;
+  umon::Umon u(ucfg);
+  workload::TraceGen gen(p, 0, 42);
+  for (int i = 0; i < 2'000'000; ++i) u.access(gen.next());
+  const umon::MissCurve mc = u.miss_curve();
+
+  std::printf("\nUMON miss curve (misses vs. capacity, 32 KB ways):\n");
+  const double top = mc.at(0);
+  for (int w = 0; w <= 192; w += 8) {
+    const int bar = top > 0 ? static_cast<int>(50.0 * mc.at(w) / top) : 0;
+    std::printf("  %4d ways (%5.1f MB) |%s (%.0f%%)\n", w, w * 32.0 / 1024.0,
+                std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                top > 0 ? 100.0 * mc.at(w) / top : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "alloc/lookahead.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace delta::alloc {
+namespace {
+
+int cap_for(const AllocRequest& req, std::size_t app) {
+  const int curve_max = req.curves[app].max_ways();
+  if (req.max_ways <= 0) return curve_max;
+  return req.max_ways < curve_max ? req.max_ways : curve_max;
+}
+
+}  // namespace
+
+AllocResult lookahead(const AllocRequest& req) {
+  const std::size_t n = req.curves.size();
+  AllocResult res;
+  res.ways.assign(n, req.min_ways);
+  assert(req.total_ways >= static_cast<int>(n) * req.min_ways);
+
+  int balance = req.total_ways - static_cast<int>(n) * req.min_ways;
+  while (balance > 0) {
+    double best_mu = 0.0;
+    std::size_t best_app = n;
+    int best_k = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      const int cur = res.ways[a];
+      const int cap = cap_for(req, a);
+      const int max_k = std::min(cap - cur, balance);
+      for (int k = 1; k <= max_k; ++k) {
+        ++res.steps;
+        const double mu = req.curves[a].marginal_utility(cur, cur + k);
+        if (mu > best_mu) {
+          best_mu = mu;
+          best_app = a;
+          best_k = k;
+        }
+      }
+    }
+    if (best_app == n || best_mu <= 0.0) break;  // No one benefits further.
+    res.ways[best_app] += best_k;
+    balance -= best_k;
+  }
+  return res;
+}
+
+std::vector<int> optimal_partition(const AllocRequest& req) {
+  const int n = static_cast<int>(req.curves.size());
+  const int w = req.total_ways;
+  const double inf = std::numeric_limits<double>::infinity();
+  // dp[a][b] = min total misses using apps [0, a) and b ways.
+  std::vector<std::vector<double>> dp(n + 1, std::vector<double>(w + 1, inf));
+  std::vector<std::vector<int>> choice(n + 1, std::vector<int>(w + 1, 0));
+  dp[0][0] = 0.0;
+  for (int a = 0; a < n; ++a) {
+    const int cap = cap_for(req, static_cast<std::size_t>(a));
+    for (int b = 0; b <= w; ++b) {
+      if (dp[a][b] == inf) continue;
+      for (int give = req.min_ways; give <= cap && b + give <= w; ++give) {
+        const double cost = dp[a][b] + req.curves[a].at(give);
+        if (cost < dp[a + 1][b + give]) {
+          dp[a + 1][b + give] = cost;
+          choice[a + 1][b + give] = give;
+        }
+      }
+    }
+  }
+  // Best reachable total <= w.
+  int best_b = 0;
+  for (int b = 0; b <= w; ++b)
+    if (dp[n][b] < dp[n][best_b]) best_b = b;
+  std::vector<int> ways(n, req.min_ways);
+  int b = best_b;
+  for (int a = n; a >= 1; --a) {
+    ways[a - 1] = choice[a][b];
+    b -= choice[a][b];
+  }
+  return ways;
+}
+
+double total_misses(const AllocRequest& req, const std::vector<int>& ways) {
+  double total = 0.0;
+  for (std::size_t a = 0; a < req.curves.size(); ++a)
+    total += req.curves[a].at(ways[a]);
+  return total;
+}
+
+}  // namespace delta::alloc

@@ -1,0 +1,42 @@
+// UCP Lookahead allocation (Qureshi & Patt, MICRO'06) — the centralized
+// reference algorithm DELTA is evaluated against (Sec. III-A, Table VI).
+//
+// Lookahead greedily awards blocks of ways to the application with the
+// highest *maximum marginal utility*: at each step, for every application it
+// scans all feasible expansions k and computes
+//     MU = (misses(cur) - misses(cur + k)) / k,
+// then grants the best (app, k) pair.  Worst case O(N * W^2); the paper's
+// Table VI measures exactly this cost growing to 1.2 s per invocation at 64
+// cores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "umon/miss_curve.hpp"
+
+namespace delta::alloc {
+
+struct AllocRequest {
+  std::vector<umon::MissCurve> curves;  ///< One per application.
+  int total_ways = 0;                   ///< Chip-wide balance to distribute.
+  int min_ways = 1;                     ///< Floor per application.
+  int max_ways = 0;                     ///< Cap per application (0 = no cap).
+};
+
+struct AllocResult {
+  std::vector<int> ways;       ///< Allocation per application.
+  std::uint64_t steps = 0;     ///< Inner-loop iterations (complexity probe).
+};
+
+/// Classic Lookahead.  `req.total_ways` must be >= N * min_ways.
+AllocResult lookahead(const AllocRequest& req);
+
+/// Exhaustive dynamic-programming optimum (minimises total misses).  Only
+/// for tests/small inputs: O(N * W^2) with large constants.
+std::vector<int> optimal_partition(const AllocRequest& req);
+
+/// Total predicted misses for an allocation under the request's curves.
+double total_misses(const AllocRequest& req, const std::vector<int>& ways);
+
+}  // namespace delta::alloc

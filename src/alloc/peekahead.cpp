@@ -1,0 +1,106 @@
+#include "alloc/peekahead.hpp"
+
+#include <cassert>
+#include <queue>
+#include <vector>
+
+namespace delta::alloc {
+
+std::vector<int> suffix_hull_next(const umon::MissCurve& curve) {
+  const int w = curve.max_ways();
+  std::vector<int> best_next(static_cast<std::size_t>(w) + 1);
+  std::vector<int> stack;  // Lower-hull vertices of the suffix, nearest first.
+  best_next[static_cast<std::size_t>(w)] = w;
+  stack.push_back(w);
+  for (int i = w - 1; i >= 0; --i) {
+    // Pop vertices that are no longer on the hull of [i, W]: vertex `top`
+    // is dominated when the segment i->second lies below i->top.
+    while (stack.size() >= 2) {
+      const int top = stack[stack.size() - 1];
+      const int second = stack[stack.size() - 2];
+      const double slope_it = (curve.at(top) - curve.at(i)) / static_cast<double>(top - i);
+      const double slope_is = (curve.at(second) - curve.at(i)) / static_cast<double>(second - i);
+      if (slope_is <= slope_it) {
+        stack.pop_back();
+      } else {
+        break;
+      }
+    }
+    best_next[static_cast<std::size_t>(i)] = stack.back();
+    stack.push_back(i);
+  }
+  return best_next;
+}
+
+AllocResult peekahead(const AllocRequest& req) {
+  const std::size_t n = req.curves.size();
+  AllocResult res;
+  res.ways.assign(n, req.min_ways);
+  assert(req.total_ways >= static_cast<int>(n) * req.min_ways);
+
+  std::vector<std::vector<int>> nexts(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    nexts[a] = suffix_hull_next(req.curves[a]);
+    res.steps += static_cast<std::uint64_t>(req.curves[a].max_ways());
+  }
+
+  auto cap_for = [&](std::size_t a) {
+    const int curve_max = req.curves[a].max_ways();
+    return req.max_ways <= 0 ? curve_max : std::min(req.max_ways, curve_max);
+  };
+
+  // Candidate move per app; max-heap on marginal utility.
+  struct Cand {
+    double mu;
+    std::size_t app;
+    int from, to;
+  };
+  auto cmp = [](const Cand& x, const Cand& y) { return x.mu < y.mu; };
+  std::priority_queue<Cand, std::vector<Cand>, decltype(cmp)> heap(cmp);
+
+  int balance = req.total_ways - static_cast<int>(n) * req.min_ways;
+  auto push_candidate = [&](std::size_t a) {
+    const int cur = res.ways[a];
+    const int cap = cap_for(a);
+    if (cur >= cap || balance <= 0) return;
+    int to = nexts[a][static_cast<std::size_t>(cur)];
+    if (to > cap) to = cap;
+    // Balance-constrained tail: fall back to the best feasible expansion.
+    if (to - cur > balance) {
+      double best_mu = 0.0;
+      int best_to = cur;
+      for (int j = cur + 1; j <= cur + balance && j <= cap; ++j) {
+        ++res.steps;
+        const double mu = req.curves[a].marginal_utility(cur, j);
+        if (mu > best_mu) {
+          best_mu = mu;
+          best_to = j;
+        }
+      }
+      if (best_to > cur) heap.push(Cand{best_mu, a, cur, best_to});
+      return;
+    }
+    if (to <= cur) return;
+    ++res.steps;
+    heap.push(Cand{req.curves[a].marginal_utility(cur, to), a, cur, to});
+  };
+
+  for (std::size_t a = 0; a < n; ++a) push_candidate(a);
+
+  while (balance > 0 && !heap.empty()) {
+    const Cand c = heap.top();
+    heap.pop();
+    if (c.from != res.ways[c.app]) continue;   // Stale entry.
+    if (c.mu <= 0.0) break;
+    if (c.to - c.from > balance) {             // Re-evaluate under new balance.
+      push_candidate(c.app);
+      continue;
+    }
+    res.ways[c.app] = c.to;
+    balance -= c.to - c.from;
+    push_candidate(c.app);
+  }
+  return res;
+}
+
+}  // namespace delta::alloc

@@ -1,0 +1,25 @@
+// Peekahead (Beckmann & Sanchez, PACT'13): computes the same allocations as
+// Lookahead but only ever inspects miss-curve points on the lower convex
+// hull, bringing the average cost to O(N * W) (paper Table VI).
+//
+// Key property: from a current allocation `cur`, the expansion maximising
+// marginal utility (misses(cur) - misses(j)) / (j - cur) is the next vertex
+// of the lower convex hull of the curve's suffix [cur, W].  We precompute
+// `best_next[i]` for every i with one right-to-left monotone-chain sweep per
+// application, then run the same greedy loop as Lookahead with O(1) work per
+// candidate.
+#pragma once
+
+#include "alloc/lookahead.hpp"
+
+namespace delta::alloc {
+
+/// Peekahead allocation; produces the same `ways` as lookahead() modulo
+/// floating-point tie-breaking.  `steps` counts hull-sweep + heap work.
+AllocResult peekahead(const AllocRequest& req);
+
+/// Exposed for tests: best_next[i] = j > i maximising the marginal utility
+/// of growing from i to j (j == i when no growth helps).
+std::vector<int> suffix_hull_next(const umon::MissCurve& curve);
+
+}  // namespace delta::alloc

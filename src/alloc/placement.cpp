@@ -1,0 +1,70 @@
+#include "alloc/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace delta::alloc {
+
+Placement place_allocations(const PlacementRequest& req) {
+  assert(req.mesh != nullptr);
+  const std::size_t n = req.ways.size();
+  assert(req.home_tile.size() == n);
+  const int banks = req.mesh->tiles();
+
+  Placement placement(n, std::vector<int>(static_cast<std::size_t>(banks), 0));
+  std::vector<int> free_ways(static_cast<std::size_t>(banks), req.ways_per_bank);
+  std::vector<int> need(req.ways);
+
+  // Pass 1: every application fills its own home bank first (locality-aware
+  // placement wants data where it is used; home banks are contention-free
+  // since each app has a distinct home).  This also covers the reserved
+  // home minimum.
+  for (std::size_t a = 0; a < n; ++a) {
+    const int home = req.home_tile[a];
+    const int grant = std::min(need[a], free_ways[home]);
+    placement[a][home] += grant;
+    free_ways[home] -= grant;
+    need[a] -= grant;
+  }
+
+  // Pass 2: big allocations first, nearest banks first.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return need[x] > need[y]; });
+
+  for (std::size_t a : order) {
+    if (need[a] <= 0) continue;
+    const int home = req.home_tile[a];
+    // Home bank first, then by distance.
+    auto try_bank = [&](int bank) {
+      if (need[a] <= 0) return;
+      const int grant = std::min(need[a], free_ways[bank]);
+      if (grant > 0) {
+        placement[a][bank] += grant;
+        free_ways[bank] -= grant;
+        need[a] -= grant;
+      }
+    };
+    try_bank(home);
+    for (int bank : req.mesh->by_distance(home)) try_bank(bank);
+  }
+  return placement;
+}
+
+double mean_placement_distance(const PlacementRequest& req, const Placement& p) {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t a = 0; a < p.size(); ++a) {
+    for (int bank = 0; bank < static_cast<int>(p[a].size()); ++bank) {
+      const int w = p[a][static_cast<std::size_t>(bank)];
+      if (w == 0) continue;
+      weighted += static_cast<double>(w) * req.mesh->hops(req.home_tile[a], bank);
+      total += static_cast<double>(w);
+    }
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+}  // namespace delta::alloc

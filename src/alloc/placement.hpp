@@ -1,0 +1,39 @@
+// Locality-aware placement of centralized allocations onto LLC banks.
+//
+// The paper's "ideal centralized" comparator computes chip-wide way counts
+// with Lookahead and then places each application's ways into banks close to
+// the tile it runs on, enforcing them with DELTA's own mechanism (Sec.
+// III-A).  This module performs that placement:
+//   1. every application first receives its reserved minimum in its home
+//      bank (each core keeps >= 128 KB at home to avoid back-invalidations);
+//   2. applications are then processed in descending allocation order, each
+//      taking free ways from banks in increasing hop distance from home.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/mesh.hpp"
+
+namespace delta::alloc {
+
+struct PlacementRequest {
+  const noc::Mesh* mesh = nullptr;
+  std::vector<int> ways;        ///< Target ways per application.
+  std::vector<int> home_tile;   ///< Home tile per application.
+  int ways_per_bank = 16;
+  int reserved_home_ways = 4;   ///< minWays floor kept in the home bank.
+};
+
+/// placement[app][bank] = ways granted.  Every bank's column sum equals
+/// ways_per_bank consumed; every app receives exactly min(request, what
+/// fits) ways, with leftovers redistributed to the nearest free banks.
+using Placement = std::vector<std::vector<int>>;
+
+Placement place_allocations(const PlacementRequest& req);
+
+/// Capacity-weighted mean hop distance from each app's home tile to its
+/// allocated ways (placement quality metric used by benches).
+double mean_placement_distance(const PlacementRequest& req, const Placement& p);
+
+}  // namespace delta::alloc

@@ -1,0 +1,76 @@
+// Minimal command-line flag parser for the tools and examples.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches
+// (`--flag`).  Unknown flags are collected so callers can reject them with
+// a helpful message; positional arguments are preserved in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace delta {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        a = a.substr(2);
+        const auto eq = a.find('=');
+        if (eq != std::string::npos) {
+          flags_[a.substr(0, eq)] = a.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          flags_[a] = argv[++i];
+        } else {
+          flags_[a] = "";  // Boolean switch.
+        }
+        order_.push_back(a.substr(0, eq == std::string::npos ? a.size() : eq));
+      } else {
+        positional_.push_back(std::move(a));
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return flags_.contains(name); }
+
+  std::string get(const std::string& name, const std::string& def = "") const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t def) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty()) return def;
+    return std::stoll(it->second);
+  }
+
+  double get_double(const std::string& name, double def) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty()) return def;
+    return std::stod(it->second);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that are not in `known` — for strict validation.
+  std::vector<std::string> unknown_flags(const std::vector<std::string>& known) const {
+    std::vector<std::string> out;
+    for (const auto& name : order_) {
+      bool ok = false;
+      for (const auto& k : known) ok |= (k == name);
+      if (!ok) out.push_back(name);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace delta

@@ -1,0 +1,44 @@
+// Minimal leveled logging.  Off by default so simulation hot loops stay
+// clean; enable with Logger::set_level(LogLevel::kDebug) in tools/examples.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace delta {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Logger {
+ public:
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+  static LogLevel level() { return level_; }
+  static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) <= static_cast<int>(level_); }
+
+  template <typename... Args>
+  static void log(LogLevel lvl, const char* fmt, Args&&... args) {
+    if (!enabled(lvl)) return;
+    std::fprintf(stderr, "[%s] ", name(lvl));
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static const char* name(LogLevel lvl) {
+    switch (lvl) {
+      case LogLevel::kError: return "error";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kDebug: return "debug";
+    }
+    return "?";
+  }
+  static inline LogLevel level_ = LogLevel::kWarn;
+};
+
+#define DELTA_LOG_INFO(...) ::delta::Logger::log(::delta::LogLevel::kInfo, __VA_ARGS__)
+#define DELTA_LOG_WARN(...) ::delta::Logger::log(::delta::LogLevel::kWarn, __VA_ARGS__)
+#define DELTA_LOG_DEBUG(...) ::delta::Logger::log(::delta::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace delta

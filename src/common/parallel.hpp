@@ -1,0 +1,42 @@
+// parallel_for: static-chunked fork-join helper over an index range.
+//
+// The experiment drivers use it to fan independent (mix, scheme) runs over
+// hardware threads.  Falls back to a plain serial loop when only one thread
+// is available or requested, which keeps single-CPU CI hosts deterministic
+// and avoids thread-creation overhead for tiny ranges.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace delta {
+
+/// Invokes `body(i)` for every i in [begin, end) using up to `threads`
+/// worker threads (0 == hardware_concurrency).  Blocks until all complete.
+/// `body` must be safe to call concurrently for distinct indices.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body,
+                         unsigned threads = 0) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  unsigned hw = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (hw == 0) hw = 1;
+  if (hw > n) hw = static_cast<unsigned>(n);
+  if (hw <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(hw);
+  for (unsigned t = 0; t < hw; ++t) {
+    pool.emplace_back([&, t] {
+      // Static round-robin assignment: thread t handles begin+t, begin+t+hw, ...
+      for (std::size_t i = begin + t; i < end; i += hw) body(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace delta

@@ -1,0 +1,118 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace delta {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) {
+    assert(x > 0.0 && "geomean requires positive inputs");
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double inv = 0.0;
+  for (double x : xs) {
+    assert(x > 0.0 && "harmonic mean requires positive inputs");
+    inv += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / inv;
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string fmt(double x, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, x);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << pad(r[c], w[c]);
+      if (c + 1 != r.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + (c + 1 != w.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace delta

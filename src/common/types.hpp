@@ -1,0 +1,41 @@
+// Fundamental scalar types and unit helpers shared by every DELTA module.
+//
+// The simulator measures time in core clock cycles at the frequency given in
+// sim::MachineConfig (4 GHz per the paper's Table II).  Addresses are byte
+// addresses; `BlockAddr` is a byte address shifted right by the cache-line
+// offset bits (64 B lines -> 6 bits).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace delta {
+
+using Addr = std::uint64_t;       ///< Physical byte address.
+using BlockAddr = std::uint64_t;  ///< Cache-line address (byte address >> 6).
+using Cycles = std::uint64_t;     ///< Duration or timestamp in core cycles.
+using CoreId = std::int32_t;      ///< Core/tile index, -1 == invalid.
+using BankId = std::int32_t;      ///< LLC bank index, -1 == invalid.
+
+inline constexpr CoreId kInvalidCore = -1;
+inline constexpr BankId kInvalidBank = -1;
+
+inline constexpr int kLineBytesLog2 = 6;                      ///< 64 B lines.
+inline constexpr int kLineBytes = 1 << kLineBytesLog2;
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kPageBytes = 4096;             ///< 4 KiB pages.
+
+/// Convert a byte address to a cache-line (block) address.
+constexpr BlockAddr block_of(Addr a) { return a >> kLineBytesLog2; }
+
+/// Convert a block address back to the byte address of the line's first byte.
+constexpr Addr addr_of_block(BlockAddr b) { return b << kLineBytesLog2; }
+
+/// Page number of a byte address (4 KiB pages).
+constexpr std::uint64_t page_of(Addr a) { return a / kPageBytes; }
+
+/// Number of 64 B lines that fit in `bytes`.
+constexpr std::uint64_t lines_in(std::uint64_t bytes) { return bytes >> kLineBytesLog2; }
+
+}  // namespace delta

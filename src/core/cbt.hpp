@@ -1,0 +1,66 @@
+// Cache Bank Table (CBT): per-core range table mapping address chunks to
+// LLC banks (Sec. II-C1).
+//
+// The hardware structure is a small fully-associative range table with at
+// most N entries (N = number of banks); ranges partition the 256 values of
+// the bit-reversed bank-selection byte, with each bank's range sized
+// proportionally to the core's allocation in that bank.  This model keeps
+// both the range list (for storage accounting and range-count invariants)
+// and a flat 256-entry chunk map (for O(1) lookup in the simulator).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/address.hpp"
+
+namespace delta::core {
+
+struct CbtRange {
+  int first_chunk = 0;  ///< Inclusive.
+  int last_chunk = 0;   ///< Inclusive.
+  BankId bank = kInvalidBank;
+};
+
+class Cbt {
+ public:
+  /// Starts with every chunk mapped to `home_bank` (equal-partition init).
+  /// `reverse_bits` selects the paper's bit-reversed chunk indexing.
+  explicit Cbt(BankId home_bank, bool reverse_bits = true);
+
+  /// Rebuilds ranges from (bank, ways) pairs in *stable acquisition order*
+  /// (home bank first).  Range lengths are proportional to way counts; the
+  /// rounding remainder goes to the largest allocation.  Total ways must
+  /// be > 0.
+  void rebuild(const std::vector<std::pair<BankId, int>>& bank_ways);
+
+  BankId bank_for_chunk(int chunk) const {
+    return chunk_map_[static_cast<std::size_t>(chunk)];
+  }
+
+  /// Full lookup: block address -> owning bank (bit-reversed chunk index).
+  BankId lookup(BlockAddr block, int sets_log2) const {
+    return bank_for_chunk(mem::chunk_of(block, sets_log2, reverse_bits_));
+  }
+
+  bool reverse_bits() const { return reverse_bits_; }
+
+  const std::vector<CbtRange>& ranges() const { return ranges_; }
+  int range_count() const { return static_cast<int>(ranges_.size()); }
+
+  /// Chunks whose bank assignment differs from `prev` — the set that must
+  /// be invalidated at their previous location after a reconfiguration.
+  std::vector<int> changed_chunks(const Cbt& prev) const;
+
+  /// Storage cost in bits: log2(N) x N as per Sec. II-C1.
+  static std::uint64_t storage_bits(int num_banks);
+
+ private:
+  std::vector<CbtRange> ranges_;
+  std::array<BankId, mem::kNumChunks> chunk_map_{};
+  bool reverse_bits_ = true;
+};
+
+}  // namespace delta::core

@@ -1,0 +1,54 @@
+#include "core/page_classify.hpp"
+
+namespace delta::core {
+
+PageEvent PageClassifier::on_access(CoreId core, Addr addr) {
+  const std::uint64_t page = page_of(addr);
+  Entry& e = pages_[page];
+  PageEvent ev;
+  switch (e.cls) {
+    case PageClass::kUntouched:
+      e.cls = PageClass::kPrivate;
+      e.owner = core;
+      ++private_pages_;
+      ev.cls = PageClass::kPrivate;
+      break;
+    case PageClass::kPrivate:
+      if (e.owner != core) {
+        e.cls = PageClass::kShared;
+        e.owner = kInvalidCore;
+        --private_pages_;
+        ++shared_pages_;
+        ++reclassifications_;
+        ev.cls = PageClass::kShared;
+        ev.reclassified = true;
+      } else {
+        ev.cls = PageClass::kPrivate;
+      }
+      break;
+    case PageClass::kShared:
+      ev.cls = PageClass::kShared;
+      break;
+  }
+  return ev;
+}
+
+PageClass PageClassifier::classify(Addr addr) const {
+  auto it = pages_.find(page_of(addr));
+  return it == pages_.end() ? PageClass::kUntouched : it->second.cls;
+}
+
+CoreId PageClassifier::owner(Addr addr) const {
+  auto it = pages_.find(page_of(addr));
+  if (it == pages_.end() || it->second.cls != PageClass::kPrivate) return kInvalidCore;
+  return it->second.owner;
+}
+
+void PageClassifier::reset() {
+  pages_.clear();
+  private_pages_ = 0;
+  shared_pages_ = 0;
+  reclassifications_ = 0;
+}
+
+}  // namespace delta::core

@@ -1,0 +1,52 @@
+// R-NUCA-style private/shared page classification (paper Sec. II-E).
+//
+// Pages are classified incrementally and lazily by the TLB: the first core
+// to touch a page becomes its owner and the page is private; the first
+// access from a *different* core (or process) flips it to shared, once and
+// permanently ("private pages are reclassified at most once, and the
+// S-NUCA mapping is never reverted").  On the private->shared flip all
+// lines of the page must be invalidated, which the caller performs using
+// the returned event.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace delta::core {
+
+enum class PageClass : std::uint8_t { kUntouched, kPrivate, kShared };
+
+struct PageEvent {
+  PageClass cls = PageClass::kPrivate;
+  bool reclassified = false;  ///< True exactly when the page flipped to shared.
+};
+
+class PageClassifier {
+ public:
+  /// Records an access by `core` to the page containing `addr`.
+  PageEvent on_access(CoreId core, Addr addr);
+
+  PageClass classify(Addr addr) const;
+  /// Owner core of a private page; kInvalidCore for shared/untouched.
+  CoreId owner(Addr addr) const;
+
+  std::uint64_t private_pages() const { return private_pages_; }
+  std::uint64_t shared_pages() const { return shared_pages_; }
+  std::uint64_t reclassifications() const { return reclassifications_; }
+
+  void reset();
+
+ private:
+  struct Entry {
+    CoreId owner = kInvalidCore;
+    PageClass cls = PageClass::kUntouched;
+  };
+  std::unordered_map<std::uint64_t, Entry> pages_;
+  std::uint64_t private_pages_ = 0;
+  std::uint64_t shared_pages_ = 0;
+  std::uint64_t reclassifications_ = 0;
+};
+
+}  // namespace delta::core

@@ -1,0 +1,26 @@
+#include "core/pain_gain.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace delta::core {
+
+double window_mpka(const umon::Umon& umon, int lo_ways, int hi_ways) {
+  const double accesses = umon.accesses();
+  if (accesses <= 0.0) return 0.0;
+  const double avoided = umon.coarse_hits_between(lo_ways, hi_ways);
+  return 1000.0 * avoided / accesses;
+}
+
+PainGain compute_pain_gain(const umon::Umon& umon, int cur_ways, int ways_outside_home,
+                           int gain_ways, int pain_ways, double mlp) {
+  assert(mlp > 0.0);
+  PainGain pg;
+  const double a_gain = window_mpka(umon, cur_ways, cur_ways + gain_ways);
+  const double a_pain = window_mpka(umon, std::max(0, cur_ways - pain_ways), cur_ways);
+  pg.raw_gain = a_gain / (static_cast<double>(ways_outside_home) + 1.0) / mlp;
+  pg.pain = a_pain / mlp;
+  return pg;
+}
+
+}  // namespace delta::core

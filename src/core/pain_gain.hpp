@@ -1,0 +1,39 @@
+// Pain and gain heuristics (paper Sec. II-B2, Eq. 1 and Eq. 2).
+//
+//   Gain_{i,j,gainWays} = a_gainWays * (k+1)^-1 / (m * (l+1))
+//   Pain_{j,painWays}   = a_painWays / m
+//
+// where a is the avoidable/incurred miss count from the coarse-grained
+// UMON window, k the ways held outside the home tile, m the MLP and l the
+// hop distance to the challenged tile.
+//
+// Normalisation note: the paper leaves a's units implicit.  We normalise a
+// to misses per kilo-access so that the gainThreshold = 0.5 of Table II is
+// meaningful independent of the reconfiguration-interval length and of each
+// application's absolute access rate.
+#pragma once
+
+#include "umon/umon.hpp"
+
+namespace delta::core {
+
+struct PainGain {
+  double raw_gain = 0.0;  ///< a_gain * (k+1)^-1 / m, before distance scaling.
+  double pain = 0.0;      ///< a_pain / m.
+};
+
+/// Misses per kilo-access in the UMON window [lo_ways, hi_ways), using the
+/// coarse (4-way bucket) counters DELTA's hardware reads.
+double window_mpka(const umon::Umon& umon, int lo_ways, int hi_ways);
+
+/// Computes both heuristics for a core holding `cur_ways` total ways of
+/// which `ways_outside_home` are in remote banks.
+PainGain compute_pain_gain(const umon::Umon& umon, int cur_ways, int ways_outside_home,
+                           int gain_ways, int pain_ways, double mlp);
+
+/// Distance scaling of Eq. 1: gain = raw_gain / (hop_distance + 1).
+inline double scale_gain(double raw_gain, int hop_distance) {
+  return raw_gain / static_cast<double>(hop_distance + 1);
+}
+
+}  // namespace delta::core

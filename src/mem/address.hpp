@@ -1,0 +1,58 @@
+// Physical-address layout helpers (paper Sec. II-C1, Fig. 2).
+//
+// A 64 B line leaves 6 offset bits.  Inside a 512 KB 16-way bank there are
+// 512 sets, i.e. 9 set-index bits directly above the offset.  The 8 bits
+// above the set index form the *bank-selection byte*; DELTA reverses that
+// byte before indexing the Cache Bank Table so that the high-entropy low
+// bits spread an application's footprint uniformly over its CBT ranges.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace delta::mem {
+
+/// Number of CBT-addressable chunks: one per value of the bank-selection byte.
+inline constexpr int kBankSelectBits = 8;
+inline constexpr int kNumChunks = 1 << kBankSelectBits;  // 256
+
+/// Reverses the bit order of an 8-bit value (0b10010110 -> 0b01101001).
+constexpr std::uint8_t reverse8(std::uint8_t v) {
+  v = static_cast<std::uint8_t>(((v & 0xF0u) >> 4) | ((v & 0x0Fu) << 4));
+  v = static_cast<std::uint8_t>(((v & 0xCCu) >> 2) | ((v & 0x33u) << 2));
+  v = static_cast<std::uint8_t>(((v & 0xAAu) >> 1) | ((v & 0x55u) << 1));
+  return v;
+}
+
+/// Set index inside a bank with `sets_log2` index bits (block-addressed).
+constexpr std::uint32_t set_index(BlockAddr block, int sets_log2) {
+  return static_cast<std::uint32_t>(block & ((1u << sets_log2) - 1));
+}
+
+/// Raw bank-selection byte: the 8 bits directly above the set index.
+constexpr std::uint8_t bank_select_byte(BlockAddr block, int sets_log2) {
+  return static_cast<std::uint8_t>((block >> sets_log2) & 0xFFu);
+}
+
+/// CBT chunk id of a block: bit-reversed bank-selection byte (Sec. II-C1).
+/// `reverse = false` disables the reversal (straight indexing) — kept as an
+/// ablation knob; the paper found reversal necessary to spread application
+/// footprints uniformly across ranges.
+constexpr int chunk_of(BlockAddr block, int sets_log2, bool reverse = true) {
+  const std::uint8_t sel = bank_select_byte(block, sets_log2);
+  return reverse ? reverse8(sel) : sel;
+}
+
+/// S-NUCA line-interleaved home bank: block modulo bank count.
+constexpr BankId snuca_bank(BlockAddr block, int num_banks) {
+  return static_cast<BankId>(block % static_cast<std::uint64_t>(num_banks));
+}
+
+/// Set index used by the S-NUCA interleaving (bank bits stripped first).
+constexpr std::uint32_t snuca_set_index(BlockAddr block, int num_banks, int sets_log2) {
+  return static_cast<std::uint32_t>((block / static_cast<std::uint64_t>(num_banks)) &
+                                    ((1u << sets_log2) - 1));
+}
+
+}  // namespace delta::mem

@@ -1,0 +1,129 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace delta::mem {
+
+SetAssocCache::SetAssocCache(std::uint32_t sets, int ways)
+    : sets_(sets), ways_(ways), lines_(std::size_t{sets} * ways), clocks_(sets, 0) {
+  assert(ways >= 1 && ways <= 32);
+  assert(sets >= 1);
+}
+
+bool SetAssocCache::contains(std::uint32_t set, BlockAddr block) const {
+  const Way* w = set_begin(set);
+  for (int i = 0; i < ways_; ++i)
+    if (w[i].valid && w[i].block == block) return true;
+  return false;
+}
+
+AccessResult SetAssocCache::access(std::uint32_t set, BlockAddr block, CoreId owner,
+                                   WayMask insert_mask, CoreId evict_pref) {
+  assert(set < sets_);
+  Way* w = set_begin(set);
+  std::uint32_t& clock = clocks_[set];
+
+  for (int i = 0; i < ways_; ++i) {
+    if (w[i].valid && w[i].block == block) {
+      w[i].stamp = ++clock;
+      ++stats_.hits;
+      return AccessResult{.hit = true, .way = i};
+    }
+  }
+
+  ++stats_.misses;
+  AccessResult res{};
+  if (insert_mask == 0) return res;  // Bypass: nowhere to allocate.
+
+  // Prefer an invalid eligible way; otherwise evict the eligible LRU,
+  // restricted to the preferred victim owner's lines when requested.
+  int victim = -1;
+  int pref_victim = -1;
+  std::uint32_t best_stamp = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t pref_stamp = std::numeric_limits<std::uint32_t>::max();
+  for (int i = 0; i < ways_; ++i) {
+    if (!(insert_mask & (WayMask{1} << i))) continue;
+    if (!w[i].valid) {
+      victim = i;
+      pref_victim = -1;
+      break;
+    }
+    if (w[i].stamp <= best_stamp) {
+      best_stamp = w[i].stamp;
+      victim = i;
+    }
+    if (evict_pref != kInvalidCore && w[i].owner == evict_pref &&
+        w[i].stamp <= pref_stamp) {
+      pref_stamp = w[i].stamp;
+      pref_victim = i;
+    }
+  }
+  if (pref_victim >= 0) victim = pref_victim;
+  assert(victim >= 0);
+
+  if (w[victim].valid) {
+    res.evicted = true;
+    res.victim_block = w[victim].block;
+    res.victim_owner = w[victim].owner;
+    ++stats_.evictions;
+  }
+  w[victim].block = block;
+  w[victim].owner = owner;
+  w[victim].valid = true;
+  w[victim].stamp = ++clock;
+  res.way = victim;
+  return res;
+}
+
+bool SetAssocCache::touch(std::uint32_t set, BlockAddr block) {
+  Way* w = set_begin(set);
+  for (int i = 0; i < ways_; ++i) {
+    if (w[i].valid && w[i].block == block) {
+      w[i].stamp = ++clocks_[set];
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetAssocCache::invalidate(std::uint32_t set, BlockAddr block) {
+  Way* w = set_begin(set);
+  for (int i = 0; i < ways_; ++i) {
+    if (w[i].valid && w[i].block == block) {
+      w[i].valid = false;
+      ++stats_.invalidations;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t SetAssocCache::invalidate_if(
+    const std::function<bool(BlockAddr, CoreId)>& pred) {
+  std::uint64_t n = 0;
+  for (auto& w : lines_) {
+    if (w.valid && pred(w.block, w.owner)) {
+      w.valid = false;
+      ++n;
+    }
+  }
+  stats_.invalidations += n;
+  return n;
+}
+
+std::uint64_t SetAssocCache::lines_owned_by(CoreId core) const {
+  std::uint64_t n = 0;
+  for (const auto& w : lines_)
+    if (w.valid && w.owner == core) ++n;
+  return n;
+}
+
+std::uint64_t SetAssocCache::valid_lines() const {
+  std::uint64_t n = 0;
+  for (const auto& w : lines_)
+    if (w.valid) ++n;
+  return n;
+}
+
+}  // namespace delta::mem

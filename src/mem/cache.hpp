@@ -1,0 +1,105 @@
+// Set-associative cache with owner-tagged lines and way-mask constrained
+// insertion — the building block for every LLC bank in the simulator.
+//
+// Lookups ("all cores can access data irrespective of which way it resides",
+// Sec. II-C2) scan the whole set; insertion picks the LRU victim among the
+// ways the inserting core's way-partition mask allows.  Lines remember both
+// the block address and the owning core so that DELTA's bulk-invalidation
+// unit can sweep remapped ranges without auxiliary structures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/replacement.hpp"
+
+namespace delta::mem {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;        ///< Valid lines displaced by insertion.
+  std::uint64_t invalidations = 0;    ///< Lines removed by invalidate calls.
+  std::uint64_t accesses() const { return hits + misses; }
+  double miss_rate() const {
+    const auto a = accesses();
+    return a ? static_cast<double>(misses) / static_cast<double>(a) : 0.0;
+  }
+  void reset() { *this = CacheStats{}; }
+};
+
+struct AccessResult {
+  bool hit = false;
+  bool evicted = false;        ///< Insertion displaced a valid line.
+  BlockAddr victim_block = 0;  ///< Valid iff `evicted`.
+  CoreId victim_owner = kInvalidCore;
+  int way = -1;                ///< Way hit or filled; -1 if insertion failed.
+};
+
+class SetAssocCache {
+ public:
+  /// `sets` need not be a power of two (callers pass pre-computed indices).
+  SetAssocCache(std::uint32_t sets, int ways);
+
+  std::uint32_t sets() const { return sets_; }
+  int ways() const { return ways_; }
+  std::uint64_t capacity_lines() const { return std::uint64_t{sets_} * ways_; }
+
+  /// Probe only: true iff (set, block) is resident.  Does not touch LRU.
+  bool contains(std::uint32_t set, BlockAddr block) const;
+
+  /// Demand access: on hit, promotes the line to MRU and returns hit=true.
+  /// On miss, inserts `block` for `owner`, choosing the LRU victim among
+  /// `insert_mask` ways (invalid ways preferred).  An empty mask records the
+  /// miss but does not allocate (the access bypasses the cache).
+  ///
+  /// `evict_pref` supports occupancy-based fine-grained partitioning
+  /// (PriSM / futility-scaling style): when valid, the victim is the LRU
+  /// line *owned by* that core (within the mask); if it holds no line in
+  /// the set, selection falls back to plain masked LRU.
+  AccessResult access(std::uint32_t set, BlockAddr block, CoreId owner, WayMask insert_mask,
+                      CoreId evict_pref = kInvalidCore);
+
+  /// Lookup without fill (e.g. remote probe).  Promotes to MRU on hit.
+  bool touch(std::uint32_t set, BlockAddr block);
+
+  /// Removes a single line if present; returns true if it was resident.
+  bool invalidate(std::uint32_t set, BlockAddr block);
+
+  /// Removes every line for which `pred(block, owner)` holds; returns count.
+  std::uint64_t invalidate_if(const std::function<bool(BlockAddr, CoreId)>& pred);
+
+  /// Number of resident lines owned by `core` (O(capacity); stats/tests).
+  std::uint64_t lines_owned_by(CoreId core) const;
+
+  /// Number of valid lines overall.
+  std::uint64_t valid_lines() const;
+
+  /// Reassigns ownership tags of resident lines in `from`-owned ways —
+  /// used only by tests; the real WP unit leaves resident lines untouched.
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  struct Way {
+    BlockAddr block = 0;
+    std::uint32_t stamp = 0;
+    CoreId owner = kInvalidCore;
+    bool valid = false;
+  };
+
+  Way* set_begin(std::uint32_t set) { return lines_.data() + std::size_t{set} * ways_; }
+  const Way* set_begin(std::uint32_t set) const {
+    return lines_.data() + std::size_t{set} * ways_;
+  }
+
+  std::uint32_t sets_;
+  int ways_;
+  std::vector<Way> lines_;
+  std::vector<std::uint32_t> clocks_;  ///< Per-set LRU clock.
+  CacheStats stats_;
+};
+
+}  // namespace delta::mem

@@ -1,0 +1,75 @@
+// In-cache MESIF directory substrate (paper Table II lists a MESIF protocol
+// with an in-cache directory).
+//
+// The multi-programmed experiments never share lines across cores, so the
+// timing model does not route every access through this module; it exists as
+// the coherence substrate for the multithreaded support path (Sec. II-E):
+// the page classifier decides which lines are shared, and shared lines are
+// S-NUCA-mapped and kept coherent through this directory.  Tests and the
+// `splash` estimator exercise it directly.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace delta::mem {
+
+enum class CoherenceState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+struct DirectoryStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t invalidations_sent = 0;  ///< Per-sharer invalidation messages.
+  std::uint64_t forwards = 0;            ///< Cache-to-cache transfers (F/E/M source).
+  std::uint64_t memory_fetches = 0;      ///< Reads serviced by memory.
+  std::uint64_t writebacks = 0;          ///< Dirty data written back to memory.
+  void reset() { *this = DirectoryStats{}; }
+};
+
+/// Outcome of one coherence transaction, for timing/message accounting.
+struct CoherenceAction {
+  bool from_memory = false;     ///< Data came from a memory controller.
+  bool forwarded = false;       ///< Data forwarded from another core's copy.
+  CoreId forwarder = kInvalidCore;
+  int invalidations = 0;        ///< Sharers invalidated by this transaction.
+};
+
+/// Full-map directory over up to 64 cores.  One entry per tracked block.
+class MesifDirectory {
+ public:
+  explicit MesifDirectory(int num_cores);
+
+  CoherenceAction on_read(CoreId core, BlockAddr block);
+  CoherenceAction on_write(CoreId core, BlockAddr block);
+  /// Silent or dirty eviction of `core`'s copy.
+  void on_evict(CoreId core, BlockAddr block);
+
+  CoherenceState state(BlockAddr block) const;
+  std::uint64_t sharer_mask(BlockAddr block) const;
+  bool is_sharer(CoreId core, BlockAddr block) const;
+  /// MESIF forwarder for the block (kInvalidCore when none designated).
+  CoreId forwarder(BlockAddr block) const;
+
+  std::size_t tracked_blocks() const { return dir_.size(); }
+  const DirectoryStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  struct Entry {
+    std::uint64_t sharers = 0;
+    CoherenceState st = CoherenceState::kInvalid;
+    CoreId fwd = kInvalidCore;  ///< F-state holder when st == kShared.
+  };
+
+  static std::uint64_t bit(CoreId c) { return std::uint64_t{1} << c; }
+  static int popcount(std::uint64_t m);
+  static CoreId any_sharer(std::uint64_t m);
+
+  int num_cores_;
+  std::unordered_map<BlockAddr, Entry> dir_;
+  DirectoryStats stats_;
+};
+
+}  // namespace delta::mem

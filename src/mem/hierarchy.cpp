@@ -1,0 +1,49 @@
+#include "mem/hierarchy.hpp"
+
+namespace delta::mem {
+
+PrivateHierarchy::PrivateHierarchy(HierarchyConfig cfg)
+    : cfg_(cfg), l1_(cfg.l1_sets, cfg.l1_ways), l2_(cfg.l2_sets, cfg.l2_ways) {}
+
+bool PrivateHierarchy::access(BlockAddr block) {
+  ++stats_.accesses;
+  if (l1_.touch(l1_set(block), block)) {
+    ++stats_.l1_hits;
+    return false;
+  }
+
+  const bool l2_hit = l2_.touch(l2_set(block), block);
+  if (l2_hit) ++stats_.l2_hits;
+
+  // Fill (or re-fill) both levels; L2 inclusivity means an L2 victim's L1
+  // copy must die with it.
+  const AccessResult l2_fill =
+      l2_hit ? AccessResult{.hit = true}
+             : l2_.access(l2_set(block), block, 0, full_mask(cfg_.l2_ways));
+  if (l2_fill.evicted) l1_.invalidate(l1_set(l2_fill.victim_block), l2_fill.victim_block);
+  l1_.access(l1_set(block), block, 0, full_mask(cfg_.l1_ways));
+
+  if (l2_hit) return false;
+  ++stats_.l2_misses;
+  return true;
+}
+
+int PrivateHierarchy::back_invalidate(BlockAddr block) {
+  int n = 0;
+  if (l1_.invalidate(l1_set(block), block)) ++n;
+  if (l2_.invalidate(l2_set(block), block)) {
+    ++n;
+    ++stats_.back_invalidations;
+  }
+  return n;
+}
+
+bool PrivateHierarchy::in_l1(BlockAddr block) const {
+  return l1_.contains(l1_set(block), block);
+}
+
+bool PrivateHierarchy::in_l2(BlockAddr block) const {
+  return l2_.contains(l2_set(block), block);
+}
+
+}  // namespace delta::mem

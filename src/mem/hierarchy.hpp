@@ -1,0 +1,77 @@
+// Private L1/L2 cache hierarchy (paper Table II: 32 KB 8-way split L1,
+// 128 KB 8-way inclusive L2) and inclusive-LLC back-invalidation support.
+//
+// The multi-program sweeps drive the LLC with post-L2 streams directly
+// (DESIGN.md §5), but the hierarchy substrate matters for two things the
+// paper relies on:
+//   * producing post-L2 streams from raw reference streams (what the
+//     Sniper front end did for the authors), and
+//   * the *inclusive-LLC* interaction: when the LLC evicts a line, copies
+//     in the private levels must be back-invalidated.  This is exactly why
+//     each core reserves minWays = 4 ways = 128 KB (one L2's worth) in its
+//     home bank (Sec. III-A) — an LLC allocation smaller than L2 would
+//     thrash the private levels through back-invalidations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+
+namespace delta::mem {
+
+struct HierarchyConfig {
+  // L1 data cache: 32 KB, 8-way, 64 B lines -> 64 sets.
+  std::uint32_t l1_sets = 64;
+  int l1_ways = 8;
+  // L2: 128 KB, 8-way -> 256 sets; inclusive of L1.
+  std::uint32_t l2_sets = 256;
+  int l2_ways = 8;
+};
+
+struct HierarchyStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;  ///< == LLC accesses emitted.
+  std::uint64_t back_invalidations = 0;  ///< Lines killed by LLC evictions.
+  double l1_hit_rate() const {
+    return accesses ? static_cast<double>(l1_hits) / static_cast<double>(accesses) : 0.0;
+  }
+  double l2_miss_ratio() const {
+    return accesses ? static_cast<double>(l2_misses) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+/// One core's private L1+L2.  access() returns true when the reference
+/// must go to the LLC (L2 miss).  The L2 is inclusive of the L1: an L2
+/// eviction back-invalidates the L1 copy.
+class PrivateHierarchy {
+ public:
+  explicit PrivateHierarchy(HierarchyConfig cfg = {});
+
+  /// Demand reference; returns true iff it missed both levels (LLC-bound).
+  bool access(BlockAddr block);
+
+  /// Inclusive-LLC support: the LLC evicted `block`, so any copies in the
+  /// private levels must be dropped.  Returns the number of levels hit.
+  int back_invalidate(BlockAddr block);
+
+  bool in_l1(BlockAddr block) const;
+  bool in_l2(BlockAddr block) const;
+
+  const HierarchyStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = HierarchyStats{}; }
+
+ private:
+  std::uint32_t l1_set(BlockAddr b) const { return static_cast<std::uint32_t>(b % cfg_.l1_sets); }
+  std::uint32_t l2_set(BlockAddr b) const { return static_cast<std::uint32_t>(b % cfg_.l2_sets); }
+
+  HierarchyConfig cfg_;
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  HierarchyStats stats_;
+};
+
+}  // namespace delta::mem

@@ -1,0 +1,43 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace delta::noc {
+
+std::vector<int> Mesh::route(int a, int b) const {
+  std::vector<int> path;
+  Coord cur = coord(a);
+  const Coord dst = coord(b);
+  path.push_back(tile(cur));
+  while (cur.x != dst.x) {  // X first (dimension-ordered).
+    cur.x += cur.x < dst.x ? 1 : -1;
+    path.push_back(tile(cur));
+  }
+  while (cur.y != dst.y) {
+    cur.y += cur.y < dst.y ? 1 : -1;
+    path.push_back(tile(cur));
+  }
+  return path;
+}
+
+std::vector<int> Mesh::by_distance(int from) const {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(tiles()) - 1);
+  for (int t = 0; t < tiles(); ++t)
+    if (t != from) order.push_back(t);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const int ha = hops(from, a), hb = hops(from, b);
+    if (ha != hb) return ha < hb;
+    return a < b;
+  });
+  return order;
+}
+
+double Mesh::mean_hops_from(int from) const {
+  double sum = 0.0;
+  for (int t = 0; t < tiles(); ++t) sum += hops(from, t);
+  return sum / static_cast<double>(tiles());
+}
+
+}  // namespace delta::noc

@@ -1,0 +1,78 @@
+// 2-D mesh network-on-chip model (paper Table II: 4x4 / 8x8 mesh, 4-cycle
+// hops = 3-cycle pipelined routers + 1-cycle links, XY dimension-ordered
+// routing).  The model is latency/accounting-only: the paper's evaluation
+// shows DELTA's extra traffic is ~0.1% of miss traffic, so link contention
+// is negligible and hop latency dominates.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace delta::noc {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+class Mesh {
+ public:
+  static constexpr Cycles kRouterCycles = 3;
+  static constexpr Cycles kLinkCycles = 1;
+  static constexpr Cycles kHopCycles = kRouterCycles + kLinkCycles;  // 4
+
+  Mesh(int width, int height) : width_(width), height_(height) {
+    assert(width >= 1 && height >= 1);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int tiles() const { return width_ * height_; }
+
+  Coord coord(int tile) const {
+    assert(tile >= 0 && tile < tiles());
+    return Coord{tile % width_, tile / width_};
+  }
+
+  int tile(Coord c) const {
+    assert(c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_);
+    return c.y * width_ + c.x;
+  }
+
+  /// Manhattan hop count between two tiles (XY routing path length).
+  int hops(int a, int b) const {
+    const Coord ca = coord(a), cb = coord(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+  }
+
+  /// One-way message latency; zero for a tile talking to itself.
+  Cycles latency(int a, int b) const {
+    return static_cast<Cycles>(hops(a, b)) * kHopCycles;
+  }
+
+  /// Round-trip latency (request + response).
+  Cycles round_trip(int a, int b) const { return 2 * latency(a, b); }
+
+  /// XY-routed path from `a` to `b`, inclusive of both endpoints.
+  std::vector<int> route(int a, int b) const;
+
+  /// All other tiles ordered by increasing hop distance from `from`,
+  /// ties broken by tile id — the challenge-candidate order of Alg. 1
+  /// ("start by challenging the closest neighbouring tiles").
+  std::vector<int> by_distance(int from) const;
+
+  /// Mean hop distance from `from` to every tile (incl. itself); this is
+  /// the average LLC distance an S-NUCA mapping exposes.
+  double mean_hops_from(int from) const;
+
+ private:
+  int width_;
+  int height_;
+};
+
+}  // namespace delta::noc

@@ -1,0 +1,69 @@
+// Per-message-type NoC traffic accounting (Sec. IV-E2 message overheads).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace delta::noc {
+
+enum class MsgType : int {
+  kLlcRequest = 0,    ///< L2 miss -> LLC bank request.
+  kLlcResponse,       ///< LLC bank -> core data response.
+  kMemRequest,        ///< LLC miss -> memory controller.
+  kMemResponse,       ///< Memory controller -> LLC bank fill.
+  kChallenge,         ///< DELTA inter-bank challenge (Alg. 1 line 7).
+  kChallengeResponse, ///< DELTA success/failure response (lines 13/15).
+  kIntraFeedback,     ///< Intra-bank win/lose report to home tiles (Alg. 2 line 6).
+  kInvalidation,      ///< Bulk-invalidation sweep commands.
+  kCentralCollect,    ///< Centralized scheme: miss-curve collection to hub.
+  kCentralBroadcast,  ///< Centralized scheme: allocation broadcast from hub.
+  kCount
+};
+
+constexpr std::string_view msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kLlcRequest: return "llc_req";
+    case MsgType::kLlcResponse: return "llc_resp";
+    case MsgType::kMemRequest: return "mem_req";
+    case MsgType::kMemResponse: return "mem_resp";
+    case MsgType::kChallenge: return "challenge";
+    case MsgType::kChallengeResponse: return "challenge_resp";
+    case MsgType::kIntraFeedback: return "intra_feedback";
+    case MsgType::kInvalidation: return "invalidation";
+    case MsgType::kCentralCollect: return "central_collect";
+    case MsgType::kCentralBroadcast: return "central_broadcast";
+    case MsgType::kCount: break;
+  }
+  return "?";
+}
+
+class TrafficStats {
+ public:
+  void count(MsgType t, std::uint64_t n = 1) {
+    counts_[static_cast<std::size_t>(t)] += n;
+  }
+  std::uint64_t total(MsgType t) const { return counts_[static_cast<std::size_t>(t)]; }
+
+  /// Messages belonging to the partitioning control plane.
+  std::uint64_t control_messages() const {
+    return total(MsgType::kChallenge) + total(MsgType::kChallengeResponse) +
+           total(MsgType::kIntraFeedback) + total(MsgType::kCentralCollect) +
+           total(MsgType::kCentralBroadcast);
+  }
+
+  /// Demand traffic (LLC requests/responses and memory traffic).
+  std::uint64_t demand_messages() const {
+    return total(MsgType::kLlcRequest) + total(MsgType::kLlcResponse) +
+           total(MsgType::kMemRequest) + total(MsgType::kMemResponse);
+  }
+
+  std::uint64_t invalidation_messages() const { return total(MsgType::kInvalidation); }
+
+  void reset() { counts_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgType::kCount)> counts_{};
+};
+
+}  // namespace delta::noc

@@ -1,0 +1,226 @@
+#include "sim/chip.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "mem/address.hpp"
+
+namespace delta::sim {
+namespace {
+
+/// Batch size for interleaving per-core access streams within an epoch:
+/// small enough that contending cores interact at fine grain, large enough
+/// to keep the issue loop cheap.
+constexpr std::uint64_t kInterleaveBatch = 16;
+
+}  // namespace
+
+Chip::Chip(const MachineConfig& cfg, const std::vector<std::string>& apps,
+           std::unique_ptr<Scheme> scheme)
+    : cfg_(cfg),
+      mesh_(cfg.mesh_width, cfg.mesh_height),
+      memsys_(cfg.num_mcus, cfg.mesh_width, cfg.mesh_height, cfg.mcu),
+      scheme_(std::move(scheme)) {
+  assert(mesh_.tiles() == cfg_.cores);
+  assert(static_cast<int>(apps.size()) == cfg_.cores);
+  banks_.reserve(static_cast<std::size_t>(cfg_.cores));
+  for (int b = 0; b < cfg_.cores; ++b)
+    banks_.emplace_back(static_cast<std::uint32_t>(cfg_.sets_per_bank()),
+                        cfg_.ways_per_bank);
+
+  slots_.resize(static_cast<std::size_t>(cfg_.cores));
+  std::uint64_t seed_state = cfg_.seed;
+  for (int c = 0; c < cfg_.cores; ++c) {
+    AppSlot& s = slots_[static_cast<std::size_t>(c)];
+    s.app_name = apps[static_cast<std::size_t>(c)];
+    const std::uint64_t core_seed = splitmix64(seed_state);
+    if (s.app_name.empty() || s.app_name == "idle") continue;
+    s.profile = &workload::spec_profile(s.app_name);
+    // Disjoint 16 GB address windows per program instance.
+    const Addr base = (static_cast<Addr>(c) + 1) << 34;
+    s.gen = std::make_unique<workload::TraceGen>(*s.profile, base, core_seed);
+    s.umon = std::make_unique<umon::Umon>(cfg_.umon);
+    s.active = true;
+    s.process_id = static_cast<std::uint32_t>(c) + 1;  // Multi-programmed: distinct.
+    const workload::Phase& ph = s.profile->phases.front();
+    s.cpi_est = ph.cpi_base + ph.apki / 1000.0 * 100.0 / ph.mlp;
+  }
+  epoch_targets_.resize(static_cast<std::size_t>(cfg_.cores));
+  scheme_->reset(*this);
+}
+
+void Chip::do_access(CoreId c, bool measuring) {
+  AppSlot& s = slots_[static_cast<std::size_t>(c)];
+  const BlockAddr block = s.gen->next();
+  s.umon->access(block);
+
+  const BankTarget t = scheme_->map(*this, c, block);
+  const int hops = mesh_.hops(c, t.bank);
+  Cycles lat = mesh_.round_trip(c, t.bank) + cfg_.llc_tag_latency + cfg_.llc_data_latency;
+  if (hops > 0) {
+    traffic_.count(noc::MsgType::kLlcRequest);
+    traffic_.count(noc::MsgType::kLlcResponse);
+  }
+
+  const mem::WayMask mask = scheme_->insert_mask(*this, c, t.bank);
+  const CoreId evict_pref = scheme_->evict_preference(*this, c, t.bank);
+  const mem::AccessResult res =
+      bank(t.bank).access(t.set, block, c, mask, evict_pref);
+  if (!res.hit && res.way >= 0) scheme_->on_insertion(*this, c, t.bank, res);
+
+  if (res.hit) {
+    if (measuring) ++s.llc_hits;
+  } else {
+    const int mcu = memsys_.mcu_for(block);
+    const int attach = memsys_.attach_tile(mcu);
+    lat += mesh_.round_trip(t.bank, attach) + memsys_.mcu(mcu).request_latency();
+    traffic_.count(noc::MsgType::kMemRequest);
+    traffic_.count(noc::MsgType::kMemResponse);
+    if (measuring) ++s.llc_misses;
+  }
+
+  ++s.epoch_accesses;
+  s.epoch_lat_sum += static_cast<double>(lat);
+  if (measuring) {
+    s.lat_sum += static_cast<double>(lat);
+    s.hop_sum += static_cast<double>(hops);
+  }
+}
+
+void Chip::run_one_epoch(bool measuring) {
+  // Phase selection + per-core access budget for this epoch.
+  for (int c = 0; c < cfg_.cores; ++c) {
+    AppSlot& s = slots_[static_cast<std::size_t>(c)];
+    if (!s.active) {
+      epoch_targets_[static_cast<std::size_t>(c)] = 0;
+      continue;
+    }
+    s.gen->set_epoch(epoch_);
+    const workload::Phase& ph = s.gen->phase();
+    const double instr = static_cast<double>(cfg_.epoch_cycles) / s.cpi_est;
+    epoch_targets_[static_cast<std::size_t>(c)] =
+        static_cast<std::uint64_t>(instr * ph.apki / 1000.0);
+    s.epoch_accesses = 0;
+    s.epoch_lat_sum = 0.0;
+  }
+
+  // Reconfiguration hook (reads last epoch's monitors), then monitor decay
+  // at the inter-bank cadence so pain/gain track phase changes.
+  scheme_->begin_epoch(*this, epoch_);
+  if (cfg_.delta.inter_interval_epochs > 0 &&
+      epoch_ % static_cast<std::uint64_t>(cfg_.delta.inter_interval_epochs) == 0) {
+    for (auto& s : slots_)
+      if (s.umon) s.umon->decay(0.5);
+  }
+
+  // Interleaved issue: round-robin batches until every budget is drained.
+  bool work_left = true;
+  while (work_left) {
+    work_left = false;
+    for (int c = 0; c < cfg_.cores; ++c) {
+      AppSlot& s = slots_[static_cast<std::size_t>(c)];
+      std::uint64_t& target = epoch_targets_[static_cast<std::size_t>(c)];
+      if (!s.active || s.epoch_accesses >= target) continue;
+      const std::uint64_t batch =
+          std::min<std::uint64_t>(kInterleaveBatch, target - s.epoch_accesses);
+      for (std::uint64_t i = 0; i < batch; ++i) do_access(c, measuring);
+      if (s.epoch_accesses < target) work_left = true;
+    }
+  }
+
+  memsys_.end_epoch(cfg_.epoch_cycles);
+  finish_epoch_accounting(measuring);
+  ++epoch_;
+}
+
+void Chip::finish_epoch_accounting(bool measuring) {
+  for (int c = 0; c < cfg_.cores; ++c) {
+    AppSlot& s = slots_[static_cast<std::size_t>(c)];
+    if (!s.active) continue;
+    const workload::Phase& ph = s.gen->phase();
+    const double avg_lat =
+        s.epoch_accesses > 0
+            ? s.epoch_lat_sum / static_cast<double>(s.epoch_accesses)
+            : 0.0;
+    const double cpi = ph.cpi_base + ph.apki / 1000.0 * avg_lat / ph.mlp;
+    s.cpi_est = cpi;
+    // Performance-counter MLP estimate: total memory latency vs the stall
+    // cycles the core actually paid this epoch (Little's law).
+    s.mlp_estimator.observe(s.epoch_accesses, s.epoch_lat_sum,
+                            s.epoch_lat_sum / ph.mlp);
+    if (measuring) {
+      s.instructions += static_cast<double>(cfg_.epoch_cycles) / cpi;
+      s.cycles += cfg_.epoch_cycles;
+      s.ways_sum += static_cast<double>(scheme_->allocated_ways(*this, c));
+      ++s.ways_samples;
+    }
+  }
+}
+
+void Chip::run_epochs(int n, bool measuring) {
+  for (int i = 0; i < n; ++i) run_one_epoch(measuring);
+}
+
+std::uint64_t Chip::invalidate_core_chunks(CoreId core, BankId old_bank,
+                                           const std::vector<int>& chunks) {
+  if (chunks.empty()) return 0;
+  bool in_set[mem::kNumChunks] = {};
+  for (int c : chunks) in_set[static_cast<std::size_t>(c)] = true;
+  const int sets_log2 = cfg_.sets_log2;
+  const bool reverse = cfg_.delta.reverse_chunk_bits;
+  const std::uint64_t n = bank(old_bank).invalidate_if(
+      [&](BlockAddr block, CoreId owner) {
+        return owner == core &&
+               in_set[static_cast<std::size_t>(mem::chunk_of(block, sets_log2, reverse))];
+      });
+  traffic_.count(noc::MsgType::kInvalidation);
+  invalidated_lines_ += n;
+  return n;
+}
+
+MixResult Chip::run(const std::string& mix_name) {
+  run_epochs(cfg_.warmup_epochs, /*measuring=*/false);
+  traffic_.reset();
+  invalidated_lines_ = 0;
+  run_epochs(cfg_.measure_epochs, /*measuring=*/true);
+
+  MixResult mr;
+  mr.mix = mix_name;
+  mr.scheme = std::string(scheme_->name());
+  mr.traffic = traffic_;
+  mr.invalidated_lines = invalidated_lines_;
+  mr.measured_epochs = static_cast<std::uint64_t>(cfg_.measure_epochs);
+  for (int c = 0; c < cfg_.cores; ++c) {
+    const AppSlot& s = slots_[static_cast<std::size_t>(c)];
+    AppResult a;
+    a.app = s.app_name;
+    a.core = c;
+    if (s.active && s.cycles > 0) {
+      a.instructions = static_cast<std::uint64_t>(s.instructions);
+      a.ipc = s.instructions / static_cast<double>(s.cycles);
+      a.cpi = a.ipc > 0.0 ? 1.0 / a.ipc : 0.0;
+      a.llc_accesses = s.llc_hits + s.llc_misses;
+      a.llc_misses = s.llc_misses;
+      a.miss_rate = a.llc_accesses
+                        ? static_cast<double>(s.llc_misses) /
+                              static_cast<double>(a.llc_accesses)
+                        : 0.0;
+      a.mpki = s.instructions > 0.0
+                   ? static_cast<double>(s.llc_misses) / (s.instructions / 1000.0)
+                   : 0.0;
+      a.avg_latency =
+          a.llc_accesses ? s.lat_sum / static_cast<double>(a.llc_accesses) : 0.0;
+      a.avg_hops =
+          a.llc_accesses ? s.hop_sum / static_cast<double>(a.llc_accesses) : 0.0;
+      a.avg_ways = s.ways_samples
+                       ? s.ways_sum / static_cast<double>(s.ways_samples)
+                       : 0.0;
+    }
+    mr.apps.push_back(std::move(a));
+  }
+  mr.geomean_ipc = workload_geomean_ipc(mr);
+  return mr;
+}
+
+}  // namespace delta::sim

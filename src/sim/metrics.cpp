@@ -1,0 +1,45 @@
+#include "sim/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace delta::sim {
+
+double workload_geomean_ipc(const MixResult& r) {
+  std::vector<double> ipcs;
+  ipcs.reserve(r.apps.size());
+  for (const auto& a : r.apps)
+    if (a.ipc > 0.0) ipcs.push_back(a.ipc);
+  return geomean(ipcs);
+}
+
+double antt(const MixResult& r, const MixResult& private_ref) {
+  assert(r.apps.size() == private_ref.apps.size());
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < r.apps.size(); ++i) {
+    if (r.apps[i].cpi <= 0.0 || private_ref.apps[i].cpi <= 0.0) continue;  // Idle core.
+    sum += r.apps[i].cpi / private_ref.apps[i].cpi;
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double stp(const MixResult& r, const MixResult& private_ref) {
+  assert(r.apps.size() == private_ref.apps.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < r.apps.size(); ++i) {
+    if (r.apps[i].cpi <= 0.0 || private_ref.apps[i].cpi <= 0.0) continue;  // Idle core.
+    sum += private_ref.apps[i].cpi / r.apps[i].cpi;
+  }
+  return sum;
+}
+
+double speedup(const MixResult& r, const MixResult& baseline) {
+  const double b = workload_geomean_ipc(baseline);
+  return b > 0.0 ? workload_geomean_ipc(r) / b : 0.0;
+}
+
+}  // namespace delta::sim

@@ -1,0 +1,33 @@
+#include "sim/runner.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace delta::sim {
+
+MixResult run_mix(const MachineConfig& cfg, const workload::Mix& mix, SchemeKind kind,
+                  SchemeOptions opts) {
+  if (static_cast<int>(mix.apps.size()) != cfg.cores)
+    throw std::invalid_argument("mix size does not match core count");
+  Chip chip(cfg, mix.apps, make_scheme(kind, opts));
+  return chip.run(mix.name);
+}
+
+SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& mix) {
+  SchemeComparison out;
+  out.snuca = run_mix(cfg, mix, SchemeKind::kSnuca);
+  out.private_llc = run_mix(cfg, mix, SchemeKind::kPrivate);
+  out.ideal = run_mix(cfg, mix, SchemeKind::kIdealCentralized);
+  out.delta = run_mix(cfg, mix, SchemeKind::kDelta);
+  return out;
+}
+
+workload::Mix mix_for_config(const MachineConfig& cfg, const std::string& mix_name) {
+  const workload::Mix& base = workload::table4_mix(mix_name);
+  if (cfg.cores == static_cast<int>(base.apps.size())) return base;
+  if (cfg.cores == static_cast<int>(base.apps.size()) * 4)
+    return workload::replicate4(base);
+  throw std::invalid_argument("no mix replication rule for this core count");
+}
+
+}  // namespace delta::sim

@@ -1,0 +1,33 @@
+// High-level experiment drivers: run a Table IV mix under one scheme or
+// under all four, on the 16- or 64-core machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/chip.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheme.hpp"
+#include "workload/mixes.hpp"
+
+namespace delta::sim {
+
+/// Runs `mix` (its app list must match cfg.cores) under `kind`.
+MixResult run_mix(const MachineConfig& cfg, const workload::Mix& mix, SchemeKind kind,
+                  SchemeOptions opts = {});
+
+/// All four schemes on the same mix with identical workload streams.
+struct SchemeComparison {
+  MixResult snuca;
+  MixResult private_llc;
+  MixResult ideal;
+  MixResult delta;
+};
+SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& mix);
+
+/// Resolves a 16-core Table IV mix to the machine size (replicating 4x for
+/// 64 cores per Sec. III-B).
+workload::Mix mix_for_config(const MachineConfig& cfg, const std::string& mix_name);
+
+}  // namespace delta::sim

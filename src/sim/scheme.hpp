@@ -1,0 +1,65 @@
+// Partitioning-scheme plug-in interface.
+//
+// A scheme answers two questions on every LLC access — which bank does this
+// core's address map to, and which ways may the core insert into — and gets
+// a begin_epoch() hook for reconfiguration.  The four schemes of the
+// paper's evaluation (unpartitioned S-NUCA, private/equal-partitioned LLC,
+// the ideal zero-overhead centralized allocator, and DELTA itself) are
+// created through make_scheme().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/replacement.hpp"
+
+namespace delta::sim {
+
+class Chip;
+
+struct BankTarget {
+  BankId bank = 0;
+  std::uint32_t set = 0;
+};
+
+enum class SchemeKind { kSnuca, kPrivate, kIdealCentralized, kDelta };
+
+std::string_view to_string(SchemeKind k);
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+  virtual std::string_view name() const = 0;
+  /// Called once before the first epoch (chip fully constructed).
+  virtual void reset(Chip&) {}
+  /// Called at the start of every epoch; reconfiguration happens here.
+  virtual void begin_epoch(Chip&, std::uint64_t /*epoch*/) {}
+  /// Address-to-bank mapping for an access by `core`.
+  virtual BankTarget map(const Chip&, CoreId core, BlockAddr block) const = 0;
+  /// Insertion mask for `core` in `bank` (0 == bypass, do not allocate).
+  virtual mem::WayMask insert_mask(const Chip&, CoreId core, BankId bank) const = 0;
+  /// Preferred eviction donor in `bank` (occupancy-based enforcement);
+  /// kInvalidCore == plain masked LRU.
+  virtual CoreId evict_preference(const Chip&, CoreId /*core*/, BankId /*bank*/) const {
+    return kInvalidCore;
+  }
+  /// Fill/eviction feedback for schemes tracking per-partition occupancy.
+  virtual void on_insertion(Chip&, CoreId /*owner*/, BankId /*bank*/,
+                            const mem::AccessResult& /*result*/) {}
+  /// Ways currently allocated to `core` chip-wide (for reporting).
+  virtual int allocated_ways(const Chip&, CoreId core) const = 0;
+};
+
+struct SchemeOptions {
+  /// Reconfiguration interval for the centralized scheme, in epochs
+  /// (10 = 1 ms as in the paper; 1000 = 100 ms for the Fig. 13 study).
+  int central_interval_epochs = 10;
+};
+
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind, SchemeOptions opts = {});
+
+}  // namespace delta::sim

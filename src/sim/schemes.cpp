@@ -1,0 +1,332 @@
+// The four cache organisations of the paper's evaluation (Sec. III-A).
+#include "sim/scheme.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "alloc/peekahead.hpp"
+#include "alloc/placement.hpp"
+#include "core/controller.hpp"
+#include "mem/address.hpp"
+#include "sim/chip.hpp"
+
+namespace delta::sim {
+namespace {
+
+std::uint32_t local_set(const Chip& chip, BlockAddr block) {
+  return mem::set_index(block, chip.config().sets_log2);
+}
+
+// ---------------------------------------------------------------------------
+// Unpartitioned S-NUCA: line-interleaved static mapping, no insertion limits.
+// ---------------------------------------------------------------------------
+class SnucaScheme final : public Scheme {
+ public:
+  std::string_view name() const override { return "snuca"; }
+
+  BankTarget map(const Chip& chip, CoreId, BlockAddr block) const override {
+    const int n = chip.cores();
+    return BankTarget{mem::snuca_bank(block, n),
+                      mem::snuca_set_index(block, n, chip.config().sets_log2)};
+  }
+
+  mem::WayMask insert_mask(const Chip& chip, CoreId, BankId) const override {
+    return mem::full_mask(chip.config().ways_per_bank);
+  }
+
+  int allocated_ways(const Chip& chip, CoreId) const override {
+    // Nominal equal share of the unpartitioned cache.
+    return chip.config().ways_per_bank;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Private LLC: equal static partitioning, each core uses only its home bank.
+// ---------------------------------------------------------------------------
+class PrivateScheme final : public Scheme {
+ public:
+  std::string_view name() const override { return "private"; }
+
+  BankTarget map(const Chip& chip, CoreId core, BlockAddr block) const override {
+    return BankTarget{static_cast<BankId>(core), local_set(chip, block)};
+  }
+
+  mem::WayMask insert_mask(const Chip& chip, CoreId, BankId) const override {
+    return mem::full_mask(chip.config().ways_per_bank);
+  }
+
+  int allocated_ways(const Chip& chip, CoreId) const override {
+    return chip.config().ways_per_bank;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DELTA: the distributed controller drives CBT + WP enforcement.
+// ---------------------------------------------------------------------------
+class DeltaScheme final : public Scheme {
+ public:
+  std::string_view name() const override { return "delta"; }
+
+  void reset(Chip& chip) override {
+    ctrl_ = std::make_unique<core::DeltaController>(
+        chip.mesh(), chip.config().delta, chip.config().ways_per_bank,
+        chip.config().sets_log2);
+    occupancy_mode_ =
+        chip.config().delta.intra_enforcement == core::IntraEnforcement::kOccupancy;
+    enforcers_.clear();
+    if (occupancy_mode_) {
+      const auto cap = static_cast<std::uint64_t>(chip.config().sets_per_bank()) *
+                       chip.config().ways_per_bank;
+      for (int b = 0; b < chip.cores(); ++b)
+        enforcers_.emplace_back(chip.cores(), cap);
+      sync_enforcers(chip);
+    }
+  }
+
+  void begin_epoch(Chip& chip, std::uint64_t epoch) override {
+    std::vector<core::TileInput> inputs(static_cast<std::size_t>(chip.cores()));
+    for (int c = 0; c < chip.cores(); ++c) {
+      AppSlot& s = chip.slot(c);
+      core::TileInput& in = inputs[static_cast<std::size_t>(c)];
+      in.umon = s.umon.get();
+      in.active = s.active;
+      in.process_id = s.process_id;
+      in.mlp = s.policy_mlp(chip.config().measured_mlp);
+    }
+    const core::TickResult res = ctrl_->tick(epoch, inputs, &chip.traffic());
+
+    // Apply remaps: group moved chunks by (core, previous bank) and run the
+    // bulk-invalidation unit once per group.
+    std::map<std::pair<CoreId, BankId>, std::vector<int>> groups;
+    for (const core::RemapChunk& rc : res.remaps)
+      groups[{rc.core, rc.old_bank}].push_back(rc.chunk);
+    for (const auto& [key, chunks] : groups)
+      chip.invalidate_core_chunks(key.first, key.second, chunks);
+
+    // Occupancy enforcement: refresh targets from the WP units and resync
+    // occupancy counters whenever invalidations may have drifted them.
+    if (occupancy_mode_ &&
+        (epoch % static_cast<std::uint64_t>(
+                     chip.config().delta.inter_interval_epochs) == 0 ||
+         !groups.empty())) {
+      sync_enforcers(chip);
+    }
+  }
+
+  BankTarget map(const Chip& chip, CoreId core, BlockAddr block) const override {
+    return BankTarget{ctrl_->bank_for(core, block), local_set(chip, block)};
+  }
+
+  mem::WayMask insert_mask(const Chip& chip, CoreId core, BankId bank) const override {
+    if (occupancy_mode_) {
+      // Replacement-based enforcement: insertion is unrestricted (a core
+      // only reaches banks its CBT maps anyway); the occupancy-steered
+      // victim choice does the partitioning.
+      (void)core;
+      (void)bank;
+      return mem::full_mask(chip.config().ways_per_bank);
+    }
+    return ctrl_->insert_mask(core, bank);
+  }
+
+  CoreId evict_preference(const Chip&, CoreId, BankId bank) const override {
+    if (!occupancy_mode_) return kInvalidCore;
+    return enforcers_[static_cast<std::size_t>(bank)].preferred_victim();
+  }
+
+  void on_insertion(Chip&, CoreId owner, BankId bank,
+                    const mem::AccessResult& res) override {
+    if (!occupancy_mode_) return;
+    auto& e = enforcers_[static_cast<std::size_t>(bank)];
+    e.on_insert(owner);
+    if (res.evicted && res.victim_owner != kInvalidCore) e.on_evict(res.victim_owner);
+  }
+
+  int allocated_ways(const Chip&, CoreId core) const override {
+    return ctrl_->total_ways(core);
+  }
+
+  const core::DeltaController& controller() const { return *ctrl_; }
+
+ private:
+  void sync_enforcers(Chip& chip) {
+    for (int b = 0; b < chip.cores(); ++b) {
+      auto& e = enforcers_[static_cast<std::size_t>(b)];
+      for (int c = 0; c < chip.cores(); ++c) {
+        e.set_target_ways(c, ctrl_->wp(b).ways_of(c), chip.config().ways_per_bank);
+        e.set_occupancy(c, chip.bank(b).lines_owned_by(c));
+      }
+    }
+  }
+
+  std::unique_ptr<core::DeltaController> ctrl_;
+  bool occupancy_mode_ = false;
+  std::vector<core::OccupancyEnforcer> enforcers_;
+};
+
+// ---------------------------------------------------------------------------
+// Ideal centralized: zero-overhead Lookahead allocations (computed with the
+// allocation-equivalent Peekahead) + locality-aware placement, enforced with
+// DELTA's own CBT/WP mechanism (Sec. III-A).  Invalidation costs of
+// remapping are modelled in full; computation/collection time is free.
+// ---------------------------------------------------------------------------
+class IdealCentralScheme final : public Scheme {
+ public:
+  explicit IdealCentralScheme(SchemeOptions opts) : opts_(opts) {}
+
+  std::string_view name() const override { return "ideal-central"; }
+
+  void reset(Chip& chip) override {
+    const int n = chip.cores();
+    wp_.clear();
+    cbts_.clear();
+    for (int t = 0; t < n; ++t) {
+      wp_.emplace_back(chip.config().ways_per_bank, static_cast<CoreId>(t));
+      cbts_.emplace_back(static_cast<BankId>(t),
+                         chip.config().delta.reverse_chunk_bits);
+    }
+  }
+
+  void begin_epoch(Chip& chip, std::uint64_t epoch) override {
+    if (opts_.central_interval_epochs <= 0 ||
+        epoch % static_cast<std::uint64_t>(opts_.central_interval_epochs) != 0)
+      return;
+    reconfigure(chip);
+  }
+
+  BankTarget map(const Chip& chip, CoreId core, BlockAddr block) const override {
+    return BankTarget{
+        cbts_[static_cast<std::size_t>(core)].lookup(block, chip.config().sets_log2),
+        local_set(chip, block)};
+  }
+
+  mem::WayMask insert_mask(const Chip&, CoreId core, BankId bank) const override {
+    return wp_[static_cast<std::size_t>(bank)].mask_of(core);
+  }
+
+  int allocated_ways(const Chip&, CoreId core) const override {
+    int total = 0;
+    for (const auto& w : wp_) total += w.ways_of(core);
+    return total;
+  }
+
+ private:
+  void reconfigure(Chip& chip) {
+    const int n = chip.cores();
+    // Collect fine-grained miss curves from all active cores (the
+    // centralized hub sees every UMON: 2N messages).
+    std::vector<int> active_core;
+    alloc::AllocRequest req;
+    for (int c = 0; c < n; ++c) {
+      AppSlot& s = chip.slot(c);
+      if (!s.active) continue;
+      active_core.push_back(c);
+      req.curves.push_back(s.umon->miss_curve());
+    }
+    chip.traffic().count(noc::MsgType::kCentralCollect, static_cast<std::uint64_t>(n));
+    chip.traffic().count(noc::MsgType::kCentralBroadcast, static_cast<std::uint64_t>(n));
+    if (active_core.empty()) return;
+
+    req.total_ways = n * chip.config().ways_per_bank;
+    req.min_ways = chip.config().delta.min_ways;
+    req.max_ways = chip.config().delta.max_ways_per_app;
+    const alloc::AllocResult allocation = alloc::peekahead(req);
+
+    alloc::PlacementRequest preq;
+    preq.mesh = &chip.mesh();
+    preq.ways = allocation.ways;
+    preq.home_tile = active_core;
+    preq.ways_per_bank = chip.config().ways_per_bank;
+    preq.reserved_home_ways = chip.config().delta.min_ways;
+    const alloc::Placement placement = alloc::place_allocations(preq);
+
+    // Re-own ways bank by bank: home app's ways first, then guests by core
+    // id, assigned to ascending way indices deterministically.
+    for (int b = 0; b < n; ++b) {
+      core::WpUnit unit(chip.config().ways_per_bank, kInvalidCore);
+      int w = 0;
+      auto fill = [&](std::size_t app_idx) {
+        const int count = placement[app_idx][static_cast<std::size_t>(b)];
+        for (int i = 0; i < count && w < chip.config().ways_per_bank; ++i)
+          unit.set_owner(w++, static_cast<CoreId>(active_core[app_idx]));
+      };
+      // Home app first for a stable "home ways at the bottom" layout.
+      for (std::size_t a = 0; a < active_core.size(); ++a)
+        if (active_core[a] == b) fill(a);
+      for (std::size_t a = 0; a < active_core.size(); ++a)
+        if (active_core[a] != b) fill(a);
+      // Unassigned ways default to the home core so idle capacity stays local.
+      for (; w < chip.config().ways_per_bank; ++w)
+        unit.set_owner(w, static_cast<CoreId>(b));
+      wp_[static_cast<std::size_t>(b)] = unit;
+    }
+
+    // Rebuild CBTs (banks ordered home-first then by distance) and apply
+    // the invalidations the remaps imply.
+    for (std::size_t a = 0; a < active_core.size(); ++a) {
+      const CoreId core = static_cast<CoreId>(active_core[a]);
+      std::vector<std::pair<BankId, int>> bank_ways;
+      bank_ways.emplace_back(static_cast<BankId>(core),
+                             placement[a][static_cast<std::size_t>(core)]);
+      for (int b : chip.mesh().by_distance(core)) {
+        const int ways = placement[a][static_cast<std::size_t>(b)];
+        if (ways > 0) bank_ways.emplace_back(static_cast<BankId>(b), ways);
+      }
+      if (bank_ways.size() == 1 && bank_ways[0].second == 0)
+        bank_ways[0].second = 1;  // Degenerate: keep home mapping.
+
+      core::Cbt& cbt = cbts_[static_cast<std::size_t>(core)];
+      // DELTA-enforcement semantics (Sec. II-C1): the CBT is updated only
+      // when capacity expands to / retreats from a bank; pure way-count
+      // drift inside already-held banks does not remap addresses.
+      bool bank_set_changed = false;
+      {
+        std::vector<BankId> old_banks, new_banks;
+        for (const auto& r : cbt.ranges()) old_banks.push_back(r.bank);
+        for (const auto& [bank, ways] : bank_ways) new_banks.push_back(bank);
+        std::sort(old_banks.begin(), old_banks.end());
+        std::sort(new_banks.begin(), new_banks.end());
+        bank_set_changed = old_banks != new_banks;
+      }
+      if (!bank_set_changed) continue;
+      const core::Cbt prev = cbt;
+      cbt.rebuild(bank_ways);
+
+      std::map<BankId, std::vector<int>> moved;
+      for (int chunk : cbt.changed_chunks(prev))
+        moved[prev.bank_for_chunk(chunk)].push_back(chunk);
+      for (const auto& [old_bank, chunks] : moved)
+        chip.invalidate_core_chunks(core, old_bank, chunks);
+    }
+  }
+
+  SchemeOptions opts_;
+  std::vector<core::WpUnit> wp_;
+  std::vector<core::Cbt> cbts_;
+};
+
+}  // namespace
+
+std::string_view to_string(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::kSnuca: return "snuca";
+    case SchemeKind::kPrivate: return "private";
+    case SchemeKind::kIdealCentralized: return "ideal-central";
+    case SchemeKind::kDelta: return "delta";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind, SchemeOptions opts) {
+  switch (kind) {
+    case SchemeKind::kSnuca: return std::make_unique<SnucaScheme>();
+    case SchemeKind::kPrivate: return std::make_unique<PrivateScheme>();
+    case SchemeKind::kIdealCentralized:
+      return std::make_unique<IdealCentralScheme>(opts);
+    case SchemeKind::kDelta: return std::make_unique<DeltaScheme>();
+  }
+  return nullptr;
+}
+
+}  // namespace delta::sim

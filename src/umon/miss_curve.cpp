@@ -1,0 +1,25 @@
+#include "umon/miss_curve.hpp"
+
+namespace delta::umon {
+
+std::vector<int> MissCurve::convex_hull_points() const {
+  std::vector<int> hull;
+  const int n = static_cast<int>(misses_.size());
+  if (n == 0) return hull;
+  // Andrew's monotone chain over points (w, misses[w]); we want the lower
+  // hull since the curve is non-increasing and utility comes from drops.
+  auto cross = [&](int o, int a, int b) {
+    const double ox = o, oy = misses_[static_cast<std::size_t>(o)];
+    const double ax = a, ay = misses_[static_cast<std::size_t>(a)];
+    const double bx = b, by = misses_[static_cast<std::size_t>(b)];
+    return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox);
+  };
+  for (int w = 0; w < n; ++w) {
+    while (hull.size() >= 2 && cross(hull[hull.size() - 2], hull.back(), w) <= 0.0)
+      hull.pop_back();
+    hull.push_back(w);
+  }
+  return hull;
+}
+
+}  // namespace delta::umon

@@ -1,0 +1,64 @@
+// Miss curve: predicted miss count as a function of allocated ways.
+//
+// Produced by UMON shadow tags (Qureshi & Patt's utility monitors), consumed
+// by DELTA's pain/gain heuristics and by the centralized Lookahead /
+// Peekahead allocators.  Index w holds the number of misses the monitored
+// application would incur with w ways of capacity; curves are monotonically
+// non-increasing in w.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace delta::umon {
+
+class MissCurve {
+ public:
+  MissCurve() = default;
+
+  /// `misses[w]` = misses with w ways; size = max_ways + 1.
+  explicit MissCurve(std::vector<double> misses) : misses_(std::move(misses)) {}
+
+  static MissCurve flat(int max_ways, double misses) {
+    return MissCurve(std::vector<double>(static_cast<std::size_t>(max_ways) + 1, misses));
+  }
+
+  bool empty() const { return misses_.empty(); }
+  int max_ways() const { return static_cast<int>(misses_.size()) - 1; }
+
+  /// Misses at `ways`, clamping beyond the measured range.
+  double at(int ways) const {
+    assert(!misses_.empty());
+    if (ways < 0) ways = 0;
+    if (ways > max_ways()) ways = max_ways();
+    return misses_[static_cast<std::size_t>(ways)];
+  }
+
+  /// Misses avoided by growing from `from` ways to `to` ways (>= 0).
+  double saved(int from, int to) const { return at(from) - at(to); }
+
+  /// Marginal utility per way over [from, to] as used by Lookahead:
+  /// U_from^to = (misses(from) - misses(to)) / (to - from).
+  double marginal_utility(int from, int to) const {
+    assert(to > from);
+    return saved(from, to) / static_cast<double>(to - from);
+  }
+
+  /// Enforces monotone non-increase (fixes sampling jitter in-place).
+  void make_monotone() {
+    for (std::size_t w = 1; w < misses_.size(); ++w)
+      if (misses_[w] > misses_[w - 1]) misses_[w] = misses_[w - 1];
+  }
+
+  /// Indices of the lower convex hull of (ways, misses) — the only
+  /// allocation sizes Peekahead ever needs to inspect.
+  std::vector<int> convex_hull_points() const;
+
+  const std::vector<double>& raw() const { return misses_; }
+
+ private:
+  std::vector<double> misses_;
+};
+
+}  // namespace delta::umon

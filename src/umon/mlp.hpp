@@ -1,0 +1,48 @@
+// MLP estimation from performance counters (paper Sec. II-B2: "The MLP
+// estimate is obtained through performance counters").
+//
+// The counters every modern core exposes are occupancy counters on the
+// miss-status registers; by Little's law the average number of outstanding
+// LLC accesses equals (access rate) x (average latency).  The estimator
+// consumes exactly the per-interval quantities the hardware has — access
+// count, summed latency, elapsed cycles, and the overlap the core achieved
+// (stall cycles) — and smooths with an EWMA so one odd interval cannot
+// swing pain/gain decisions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace delta::umon {
+
+class MlpEstimator {
+ public:
+  /// `alpha` is the EWMA weight of the newest interval.
+  explicit MlpEstimator(double alpha = 0.3) : alpha_(alpha) {}
+
+  /// Feeds one interval: `accesses` LLC accesses with total latency
+  /// `latency_sum` (cycles), during which the core accumulated
+  /// `stall_cycles` of memory stall.  MLP = total memory latency the
+  /// application *would* serialise / the stall it actually paid.
+  void observe(std::uint64_t accesses, double latency_sum, double stall_cycles) {
+    if (accesses == 0 || stall_cycles <= 0.0) return;
+    const double mlp = std::max(1.0, latency_sum / stall_cycles);
+    value_ = initialised_ ? (1.0 - alpha_) * value_ + alpha_ * mlp : mlp;
+    initialised_ = true;
+  }
+
+  /// Current estimate; 1.0 (fully serialised) until first observation.
+  double get() const { return initialised_ ? value_ : 1.0; }
+  bool initialised() const { return initialised_; }
+  void reset() {
+    value_ = 1.0;
+    initialised_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 1.0;
+  bool initialised_ = false;
+};
+
+}  // namespace delta::umon

@@ -1,0 +1,125 @@
+#include "umon/umon.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace delta::umon {
+
+Umon::Umon(UmonConfig cfg) : cfg_(cfg) {
+  assert(cfg_.max_ways >= 1);
+  assert(cfg_.set_dilution >= 1);
+  assert(cfg_.coarse_ways >= 1);
+  const int sets = 1 << cfg_.sets_log2;
+  num_stacks_ = sets / cfg_.set_dilution;
+  assert(num_stacks_ >= 1);
+  stacks_.resize(static_cast<std::size_t>(num_stacks_));
+  for (auto& s : stacks_) s.reserve(static_cast<std::size_t>(cfg_.max_ways));
+  hit_ctr_.assign(static_cast<std::size_t>(cfg_.max_ways), 0.0);
+  const int buckets = (cfg_.max_ways + cfg_.coarse_ways - 1) / cfg_.coarse_ways;
+  coarse_ctr_.assign(static_cast<std::size_t>(buckets), 0.0);
+}
+
+void Umon::access(BlockAddr block) {
+  // Dynamic set sampling: the monitored sets are those whose index is a
+  // multiple of the dilution factor.
+  const std::uint32_t set =
+      static_cast<std::uint32_t>(block & ((1u << cfg_.sets_log2) - 1));
+  if (set % static_cast<std::uint32_t>(cfg_.set_dilution) != 0) return;
+
+  ++sampled_accesses_;
+  auto& stack = stacks_[set / static_cast<std::uint32_t>(cfg_.set_dilution)];
+
+  auto it = std::find(stack.begin(), stack.end(), block);
+  if (it != stack.end()) {
+    const int dist = static_cast<int>(it - stack.begin());
+    hit_ctr_[static_cast<std::size_t>(dist)] += 1.0;
+    coarse_ctr_[static_cast<std::size_t>(dist / cfg_.coarse_ways)] += 1.0;
+    stack.erase(it);
+    stack.insert(stack.begin(), block);
+    return;
+  }
+
+  sampled_misses_ += 1.0;
+  stack.insert(stack.begin(), block);
+  if (static_cast<int>(stack.size()) > cfg_.max_ways) stack.pop_back();
+}
+
+double Umon::hits_between(int lo_ways, int hi_ways) const {
+  lo_ways = std::clamp(lo_ways, 0, cfg_.max_ways);
+  hi_ways = std::clamp(hi_ways, 0, cfg_.max_ways);
+  double h = 0.0;
+  for (int d = lo_ways; d < hi_ways; ++d) h += hit_ctr_[static_cast<std::size_t>(d)];
+  return scale(h);
+}
+
+double Umon::coarse_hits_between(int lo_ways, int hi_ways) const {
+  lo_ways = std::clamp(lo_ways, 0, cfg_.max_ways);
+  hi_ways = std::clamp(hi_ways, 0, cfg_.max_ways);
+  if (hi_ways <= lo_ways) return 0.0;
+  // Integrate the coarse counters treating each bucket's hits as uniformly
+  // spread over its `coarse_ways` positions.
+  double h = 0.0;
+  for (int d = lo_ways; d < hi_ways; ++d) {
+    const std::size_t b = static_cast<std::size_t>(d / cfg_.coarse_ways);
+    h += coarse_ctr_[b] / static_cast<double>(cfg_.coarse_ways);
+  }
+  return scale(h);
+}
+
+MissCurve Umon::miss_curve() const {
+  std::vector<double> m(static_cast<std::size_t>(cfg_.max_ways) + 1);
+  double cum_hits = 0.0;
+  const double total = static_cast<double>(sampled_accesses_);
+  m[0] = scale(total);
+  for (int w = 1; w <= cfg_.max_ways; ++w) {
+    cum_hits += hit_ctr_[static_cast<std::size_t>(w - 1)];
+    m[static_cast<std::size_t>(w)] = scale(total - cum_hits);
+  }
+  MissCurve curve(std::move(m));
+  curve.make_monotone();
+  return curve;
+}
+
+MissCurve Umon::coarse_miss_curve() const {
+  std::vector<double> m(static_cast<std::size_t>(cfg_.max_ways) + 1);
+  const double total = static_cast<double>(sampled_accesses_);
+  double cum = 0.0;
+  m[0] = scale(total);
+  for (int w = 1; w <= cfg_.max_ways; ++w) {
+    const std::size_t b = static_cast<std::size_t>((w - 1) / cfg_.coarse_ways);
+    cum += coarse_ctr_[b] / static_cast<double>(cfg_.coarse_ways);
+    m[static_cast<std::size_t>(w)] = scale(std::max(0.0, total - cum));
+  }
+  MissCurve curve(std::move(m));
+  curve.make_monotone();
+  return curve;
+}
+
+void Umon::decay(double keep_fraction) {
+  for (auto& c : hit_ctr_) c *= keep_fraction;
+  for (auto& c : coarse_ctr_) c *= keep_fraction;
+  sampled_misses_ *= keep_fraction;
+  sampled_accesses_ = static_cast<std::uint64_t>(
+      static_cast<double>(sampled_accesses_) * keep_fraction);
+}
+
+void Umon::reset() {
+  for (auto& s : stacks_) s.clear();
+  std::fill(hit_ctr_.begin(), hit_ctr_.end(), 0.0);
+  std::fill(coarse_ctr_.begin(), coarse_ctr_.end(), 0.0);
+  sampled_misses_ = 0.0;
+  sampled_accesses_ = 0;
+}
+
+std::uint64_t Umon::storage_bits() const {
+  // Tag entries: num_stacks * max_ways tags of ~28 bits (partial tags),
+  // counters: 32-bit each.  Fine monitors carry max_ways counters, coarse
+  // monitors max_ways / coarse_ways — the saving the paper highlights.
+  const std::uint64_t tags =
+      static_cast<std::uint64_t>(num_stacks_) * cfg_.max_ways * 28;
+  const std::uint64_t coarse_counters =
+      static_cast<std::uint64_t>(coarse_ctr_.size()) * 32;
+  return tags + coarse_counters;
+}
+
+}  // namespace delta::umon

@@ -1,0 +1,90 @@
+// UMON sampled shadow-tag array (Qureshi & Patt, MICRO'06), as adapted by
+// DELTA (Sec. II-B3):
+//
+//  * dynamic set sampling — only 1 out of `set_dilution` cache sets carries
+//    shadow tags, so monitored blocks are those whose set index falls on a
+//    sampled set;
+//  * per-way-position hit counters give the full miss curve at single-way
+//    granularity (used by the farsighted centralized allocator);
+//  * DELTA's *coarse-grained* UMON variant exposes hit counts only at 4-way
+//    bucket granularity, which is all the pain/gain windows need — the tag
+//    array is the same, only the counter array shrinks.
+//
+// Way granularity is the paper's 32 KB allocation unit (one way of one
+// 512 KB/16-way bank), so a monitor with max_ways = 192 models capacities up
+// to 6 MB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "umon/miss_curve.hpp"
+
+namespace delta::umon {
+
+struct UmonConfig {
+  int max_ways = 192;       ///< Largest allocation tracked, in 32 KB ways.
+  int sets_log2 = 9;        ///< Sets per way-slice (512 sets of 64 B lines = 32 KB).
+  int set_dilution = 16;    ///< Monitor 1 in N sets (dynamic set sampling).
+  int coarse_ways = 4;      ///< Bucket width of the coarse counters.
+};
+
+class Umon {
+ public:
+  explicit Umon(UmonConfig cfg = {});
+
+  /// Feeds one LLC access (private-L2 miss) into the monitor.  Cheap for
+  /// unmonitored blocks (one mask test).
+  void access(BlockAddr block);
+
+  /// Scaled access/miss totals (sampled counts multiplied by dilution).
+  double accesses() const { return scale(sampled_accesses_); }
+  double misses_at_max() const { return scale(sampled_misses_); }
+  std::uint64_t sampled_accesses() const { return sampled_accesses_; }
+
+  /// Scaled hits with stack distance in [lo_ways, hi_ways) — i.e. the
+  /// misses avoided by growing an allocation from lo to hi ways.  Uses the
+  /// fine-grained counters.
+  double hits_between(int lo_ways, int hi_ways) const;
+
+  /// Same question answered from the coarse 4-way counters, with linear
+  /// interpolation inside buckets — what DELTA's hardware actually sees.
+  double coarse_hits_between(int lo_ways, int hi_ways) const;
+
+  /// Full fine-grained miss curve (misses vs. ways, scaled).
+  MissCurve miss_curve() const;
+
+  /// Coarse-grained miss curve: exact at bucket boundaries, linearly
+  /// interpolated inside buckets.
+  MissCurve coarse_miss_curve() const;
+
+  /// Exponential decay of all counters; invoked at reconfiguration
+  /// boundaries so the monitor tracks phase changes.
+  void decay(double keep_fraction = 0.5);
+
+  void reset();
+
+  int max_ways() const { return cfg_.max_ways; }
+  const UmonConfig& config() const { return cfg_; }
+
+  /// Storage cost of this monitor in bits (tags + counters), for the
+  /// overhead analysis harness.
+  std::uint64_t storage_bits() const;
+
+ private:
+  double scale(double x) const { return x * static_cast<double>(cfg_.set_dilution); }
+  double scale(std::uint64_t x) const { return scale(static_cast<double>(x)); }
+
+  UmonConfig cfg_;
+  int num_stacks_ = 0;
+  /// One LRU stack per monitored set; front = MRU.  Linear scan is fine:
+  /// stacks are short and only 1/set_dilution accesses reach them.
+  std::vector<std::vector<BlockAddr>> stacks_;
+  std::vector<double> hit_ctr_;         ///< Fine: hits at stack distance d.
+  std::vector<double> coarse_ctr_;      ///< Coarse: hits per 4-way bucket.
+  double sampled_misses_ = 0;
+  std::uint64_t sampled_accesses_ = 0;
+};
+
+}  // namespace delta::umon

@@ -1,0 +1,87 @@
+#include "workload/classify.hpp"
+
+#include <cassert>
+
+#include "mem/cache.hpp"
+#include "mem/replacement.hpp"
+#include "workload/generator.hpp"
+
+namespace delta::workload {
+namespace {
+
+struct RunStats {
+  double miss_rate = 0.0;
+  double ipc = 0.0;
+};
+
+RunStats run_alone(const AppProfile& profile, std::uint64_t cache_bytes,
+                   const ClassifyConfig& cfg) {
+  constexpr int kWays = 16;
+  const std::uint32_t sets =
+      static_cast<std::uint32_t>(lines_in(cache_bytes) / kWays);
+  assert(sets >= 1);
+  mem::SetAssocCache cache(sets, kWays);
+  const mem::WayMask all = mem::full_mask(kWays);
+
+  TraceGen gen(profile, /*base_addr=*/0, cfg.seed);
+  for (std::uint64_t i = 0; i < cfg.warmup_accesses; ++i) {
+    const BlockAddr b = gen.next();
+    cache.access(static_cast<std::uint32_t>(b % sets), b, 0, all);
+  }
+  cache.reset_stats();
+  for (std::uint64_t i = 0; i < cfg.measured_accesses; ++i) {
+    const BlockAddr b = gen.next();
+    cache.access(static_cast<std::uint32_t>(b % sets), b, 0, all);
+  }
+
+  const Phase& ph = profile.phases.front();
+  RunStats rs;
+  rs.miss_rate = cache.stats().miss_rate();
+  const double avg_lat =
+      rs.miss_rate * cfg.miss_latency + (1.0 - rs.miss_rate) * cfg.hit_latency;
+  // Interval-model cycle accounting: base CPI plus LLC-access stalls
+  // overlapped by the application's memory-level parallelism.
+  const double cpi = ph.cpi_base + (ph.apki / 1000.0) * avg_lat / ph.mlp;
+  rs.ipc = 1.0 / cpi;
+  return rs;
+}
+
+}  // namespace
+
+double standalone_ipc(const AppProfile& profile, std::uint64_t cache_bytes,
+                      const ClassifyConfig& cfg) {
+  return run_alone(profile, cache_bytes, cfg).ipc;
+}
+
+double standalone_miss_rate(const AppProfile& profile, std::uint64_t cache_bytes,
+                            const ClassifyConfig& cfg) {
+  return run_alone(profile, cache_bytes, cfg).miss_rate;
+}
+
+ClassifyResult classify(const AppProfile& profile, const ClassifyConfig& cfg) {
+  ClassifyResult r;
+  r.ipc_128k = standalone_ipc(profile, 128 * kKiB, cfg);
+  r.ipc_512k = standalone_ipc(profile, 512 * kKiB, cfg);
+  r.ipc_8m = standalone_ipc(profile, 8 * kMiB, cfg);
+  const double miss_8m = standalone_miss_rate(profile, 8 * kMiB, cfg);
+  r.mpki_8m = profile.phases.front().apki * miss_8m;
+  r.improvement_low = (r.ipc_512k - r.ipc_128k) / r.ipc_128k;
+  r.improvement_med = (r.ipc_8m - r.ipc_512k) / r.ipc_512k;
+
+  const bool low = r.improvement_low > cfg.improvement_threshold;
+  const bool med = r.improvement_med > cfg.improvement_threshold;
+  if (low && med) {
+    r.cls = AppClass::kSensitiveLowMedium;
+  } else if (low) {
+    r.cls = AppClass::kSensitiveLow;
+  } else if (med) {
+    r.cls = AppClass::kSensitiveLowMedium;
+  } else if (r.mpki_8m > cfg.thrashing_mpki) {
+    r.cls = AppClass::kThrashing;
+  } else {
+    r.cls = AppClass::kInsensitive;
+  }
+  return r;
+}
+
+}  // namespace delta::workload

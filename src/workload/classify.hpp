@@ -1,0 +1,48 @@
+// Sec. III-B workload classification: run an application alone on 128 KB,
+// 512 KB and 8 MB LLCs, classify by IPC improvement (>10% per region) and
+// by MPKI (>5 separates thrashing from insensitive).
+//
+// This is the validation harness for the synthetic profiles: a unit test
+// asserts every profile lands in its Table III class.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/profile.hpp"
+
+namespace delta::workload {
+
+struct ClassifyConfig {
+  std::uint64_t warmup_accesses = 400'000;
+  std::uint64_t measured_accesses = 500'000;
+  std::uint64_t seed = 42;
+  double improvement_threshold = 0.10;  ///< 10% IPC improvement.
+  double thrashing_mpki = 5.0;
+  // Single-bank latency model used for stand-alone IPC (matching the
+  // simulator's local-bank constants: 2-cycle tag + 9-cycle data).
+  double hit_latency = 11.0;
+  double miss_latency = 350.0;  ///< 80 ns DRAM + NoC round trip to an MCU.
+};
+
+struct ClassifyResult {
+  double ipc_128k = 0.0;
+  double ipc_512k = 0.0;
+  double ipc_8m = 0.0;
+  double mpki_8m = 0.0;
+  double improvement_low = 0.0;   ///< (ipc_512k - ipc_128k) / ipc_128k.
+  double improvement_med = 0.0;   ///< (ipc_8m - ipc_512k) / ipc_512k.
+  AppClass cls = AppClass::kInsensitive;
+};
+
+/// Stand-alone IPC of `profile` with an LLC of `cache_bytes` (16-way LRU).
+double standalone_ipc(const AppProfile& profile, std::uint64_t cache_bytes,
+                      const ClassifyConfig& cfg = {});
+
+/// Stand-alone LLC miss rate under the same setup (diagnostics).
+double standalone_miss_rate(const AppProfile& profile, std::uint64_t cache_bytes,
+                            const ClassifyConfig& cfg = {});
+
+/// Full Sec. III-B procedure.
+ClassifyResult classify(const AppProfile& profile, const ClassifyConfig& cfg = {});
+
+}  // namespace delta::workload

@@ -1,0 +1,85 @@
+#include "workload/generator.hpp"
+
+#include <cassert>
+
+namespace delta::workload {
+
+std::string to_string(AppClass c) {
+  switch (c) {
+    case AppClass::kInsensitive: return "I";
+    case AppClass::kThrashing: return "T";
+    case AppClass::kSensitiveLow: return "L";
+    case AppClass::kSensitiveLowMedium: return "LM";
+  }
+  return "?";
+}
+
+TraceGen::TraceGen(const AppProfile& profile, Addr base_addr, std::uint64_t seed)
+    : profile_(profile), base_(base_addr), rng_(seed) {
+  assert(!profile.phases.empty());
+  phase_offset_ = static_cast<std::uint32_t>(mix64(seed ^ 0x5eedULL) & 0xFFFF);
+
+  states_.resize(profile.phases.size());
+  for (std::size_t p = 0; p < profile.phases.size(); ++p) {
+    const Phase& ph = profile.phases[p];
+    PhaseState& st = states_[p];
+    assert(!ph.rings.empty());
+    BlockAddr cursor = block_of(base_);
+    double cum = 0.0;
+    for (const Ring& r : ph.rings) {
+      RingState rs;
+      rs.base_block = cursor;
+      rs.lines = r.kind == RingKind::kStream ? kStreamWrapLines : lines_in(r.bytes);
+      if (rs.lines == 0) rs.lines = 1;
+      // Start loops/streams at a seed-dependent offset so replicated copies
+      // are phase-shifted relative to each other.
+      rs.pos = mix64(seed ^ (cursor * 0x9e37ULL)) % rs.lines;
+      cursor += rs.lines;
+      cum += r.weight;
+      st.rings.push_back(rs);
+      st.cum_weight.push_back(cum);
+    }
+    // Normalise so the last cumulative weight is exactly the total.
+    assert(cum > 0.0);
+  }
+  phase_idx_ = 0;
+  phase_ = &profile_.phases[0];
+}
+
+void TraceGen::set_epoch(std::uint64_t epoch) {
+  if (profile_.phases.size() <= 1 || profile_.phase_len_epochs == 0) return;
+  const std::uint64_t idx =
+      ((epoch + phase_offset_) / profile_.phase_len_epochs) % profile_.phases.size();
+  phase_idx_ = static_cast<std::size_t>(idx);
+  phase_ = &profile_.phases[phase_idx_];
+}
+
+BlockAddr TraceGen::next() {
+  PhaseState& st = states_[phase_idx_];
+  const Phase& ph = *phase_;
+
+  // Weighted ring choice via the cumulative table (few rings => linear scan).
+  const double total = st.cum_weight.back();
+  const double r = rng_.uniform() * total;
+  std::size_t i = 0;
+  while (i + 1 < st.cum_weight.size() && r >= st.cum_weight[i]) ++i;
+
+  RingState& rs = st.rings[i];
+  switch (ph.rings[i].kind) {
+    case RingKind::kUniform:
+      return rs.base_block + rng_.below(rs.lines);
+    case RingKind::kLoop: {
+      const BlockAddr b = rs.base_block + rs.pos;
+      rs.pos = (rs.pos + 1) % rs.lines;
+      return b;
+    }
+    case RingKind::kStream: {
+      const BlockAddr b = rs.base_block + rs.pos;
+      rs.pos = (rs.pos + 1) % rs.lines;
+      return b;
+    }
+  }
+  return rs.base_block;
+}
+
+}  // namespace delta::workload

@@ -1,0 +1,56 @@
+// Trace generator: turns an AppProfile into a deterministic stream of
+// LLC-bound block addresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/profile.hpp"
+
+namespace delta::workload {
+
+class TraceGen {
+ public:
+  /// `base_addr` keeps distinct program instances in disjoint address
+  /// ranges (multi-programmed workloads share nothing).  `seed` controls
+  /// every random choice; equal seeds give equal streams.
+  TraceGen(const AppProfile& profile, Addr base_addr, std::uint64_t seed);
+
+  /// Next block address of the post-L2 access stream.
+  BlockAddr next();
+
+  /// Selects the active phase for a global epoch counter (phase offsets are
+  /// derived from the seed so replicated instances de-synchronise).
+  void set_epoch(std::uint64_t epoch);
+
+  const Phase& phase() const { return *phase_; }
+  const AppProfile& profile() const { return profile_; }
+  Addr base_addr() const { return base_; }
+
+ private:
+  struct RingState {
+    BlockAddr base_block = 0;
+    std::uint64_t lines = 0;
+    std::uint64_t pos = 0;  ///< Loop/stream cursor.
+  };
+  struct PhaseState {
+    std::vector<RingState> rings;
+    std::vector<double> cum_weight;
+  };
+
+  const AppProfile& profile_;
+  Addr base_;
+  Rng rng_;
+  std::uint32_t phase_offset_ = 0;
+  std::size_t phase_idx_ = 0;
+  const Phase* phase_ = nullptr;
+  std::vector<PhaseState> states_;
+
+  /// Streams wrap at this many lines so footprints stay bounded while reuse
+  /// distance remains far beyond any allocatable capacity.
+  static constexpr std::uint64_t kStreamWrapLines = lines_in(256 * kMiB);
+};
+
+}  // namespace delta::workload

@@ -1,0 +1,77 @@
+#include "workload/mixes.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "workload/spec.hpp"
+
+namespace delta::workload {
+namespace {
+
+Mix mix(std::string name, std::string comp, std::vector<std::string> apps) {
+  assert(apps.size() == 16);
+  for (const auto& a : apps) {
+    if (!has_spec_profile(a)) throw std::logic_error("mix references unknown app: " + a);
+  }
+  return Mix{std::move(name), std::move(comp), std::move(apps)};
+}
+
+std::vector<Mix> build() {
+  std::vector<Mix> v;
+  v.push_back(mix("w1", "LM",
+      {"de", "om", "om", "pe", "ca", "bz", "go", "go", "ca", "hm", "le", "go", "bz", "gc", "so", "mc"}));
+  v.push_back(mix("w2", "L+LM",
+      {"bw", "sj", "na", "ze", "li", "mi", "xa", "so", "de", "om", "go", "go", "bz", "gc", "mc", "pe"}));
+  v.push_back(mix("w3", "T+L",
+      {"to", "to", "bw", "bw", "bw", "lb", "lb", "li", "li", "li", "h2", "mi", "gr", "as", "ga", "mi"}));
+  v.push_back(mix("w4", "T+LM",
+      {"de", "bw", "bw", "bw", "so", "li", "li", "hm", "pe", "mi", "mi", "mi", "go", "om", "bz", "go"}));
+  v.push_back(mix("w5", "I+L+LM",
+      {"gc", "po", "Ge", "as", "pe", "wr", "ga", "cac", "to", "hm", "sj", "h2", "bz", "ze", "gr", "so"}));
+  v.push_back(mix("w6", "I+T+L+LM",
+      {"na", "de", "li", "gr", "wr", "so", "mi", "as", "mi", "to", "ze", "om", "bw", "h2", "Ge", "hm"}));
+  v.push_back(mix("w7", "I+T+LM",
+      {"sj", "bw", "bw", "bz", "wr", "li", "li", "gc", "mi", "de", "na", "om", "ze", "mi", "go", "Ge"}));
+  v.push_back(mix("w8", "I+T+L",
+      {"po", "bw", "bw", "h2", "sj", "li", "li", "gr", "na", "mi", "as", "Ge", "ga", "wr", "lb", "mi"}));
+  v.push_back(mix("w9", "I+LM",
+      {"po", "om", "sj", "sj", "go", "na", "na", "le", "ze", "go", "Ge", "bz", "wr", "ca", "sp", "gc"}));
+  v.push_back(mix("w10", "I+L",
+      {"po", "to", "sj", "h2", "h2", "na", "lb", "lb", "ze", "ze", "gr", "Ge", "as", "wr", "ga", "po"}));
+  v.push_back(mix("w11", "T+L+LM",
+      {"sp", "bw", "h2", "om", "li", "gr", "go", "mi", "mi", "as", "hm", "bw", "ga", "le", "lb", "ca"}));
+  v.push_back(mix("w12", "random",
+      {"go", "lb", "ca", "sp", "bw", "go", "li", "li", "ga", "h2", "ze", "to", "so", "gr", "mi", "pe"}));
+  v.push_back(mix("w13", "random",
+      {"lb", "to", "pe", "go", "gc", "mi", "li", "li", "na", "h2", "cac", "ze", "ze", "ca", "so", "as"}));
+  v.push_back(mix("w14", "random",
+      {"de", "bw", "mc", "li", "pe", "mi", "ca", "wr", "go", "po", "hm", "na", "go", "ze", "so", "Ge"}));
+  v.push_back(mix("w15", "random",
+      {"to", "to", "po", "lb", "li", "mi", "lb", "wr", "h2", "sj", "gr", "na", "as", "ze", "ga", "Ge"}));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Mix>& table4_mixes() {
+  static const auto* mixes = new std::vector<Mix>(build());
+  return *mixes;
+}
+
+const Mix& table4_mix(const std::string& name) {
+  for (const auto& m : table4_mixes())
+    if (m.name == name) return m;
+  throw std::out_of_range("unknown mix: " + name);
+}
+
+Mix replicate4(const Mix& m) {
+  Mix out;
+  out.name = m.name + "x4";
+  out.composition = m.composition;
+  out.apps.reserve(m.apps.size() * 4);
+  for (int r = 0; r < 4; ++r)
+    for (const auto& a : m.apps) out.apps.push_back(a);
+  return out;
+}
+
+}  // namespace delta::workload

@@ -1,0 +1,62 @@
+#include "workload/trace_io.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace delta::workload {
+namespace {
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(Header) == 16);
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) throw std::runtime_error("cannot open trace for writing: " + path);
+  Header h{};
+  std::memcpy(h.magic, kTraceMagic, sizeof h.magic);
+  h.version = kTraceVersion;
+  if (std::fwrite(&h, sizeof h, 1, f_) != 1)
+    throw std::runtime_error("cannot write trace header: " + path);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::append(BlockAddr block) {
+  if (std::fwrite(&block, sizeof block, 1, f_) != 1)
+    throw std::runtime_error("trace write failed");
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open trace: " + path);
+  Header h{};
+  if (std::fread(&h, sizeof h, 1, f) != 1 ||
+      std::memcmp(h.magic, kTraceMagic, sizeof h.magic) != 0) {
+    std::fclose(f);
+    throw std::runtime_error("not a DELTA trace file: " + path);
+  }
+  if (h.version != kTraceVersion) {
+    std::fclose(f);
+    throw std::runtime_error("unsupported trace version in " + path);
+  }
+  BlockAddr b;
+  while (std::fread(&b, sizeof b, 1, f) == 1) blocks_.push_back(b);
+  std::fclose(f);
+  if (blocks_.empty()) throw std::runtime_error("empty trace: " + path);
+}
+
+}  // namespace delta::workload

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address.hpp"
+
+namespace delta::mem {
+namespace {
+
+TEST(Reverse8, KnownValues) {
+  EXPECT_EQ(reverse8(0x00), 0x00);
+  EXPECT_EQ(reverse8(0xFF), 0xFF);
+  EXPECT_EQ(reverse8(0x01), 0x80);
+  EXPECT_EQ(reverse8(0x80), 0x01);
+  EXPECT_EQ(reverse8(0b10010110), 0b01101001);
+}
+
+TEST(Reverse8, IsAnInvolution) {
+  for (int v = 0; v < 256; ++v)
+    EXPECT_EQ(reverse8(reverse8(static_cast<std::uint8_t>(v))), v);
+}
+
+TEST(Reverse8, IsABijection) {
+  std::set<int> seen;
+  for (int v = 0; v < 256; ++v) seen.insert(reverse8(static_cast<std::uint8_t>(v)));
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Address, SetIndexUsesLowBits) {
+  EXPECT_EQ(set_index(0, 9), 0u);
+  EXPECT_EQ(set_index(511, 9), 511u);
+  EXPECT_EQ(set_index(512, 9), 0u);
+  EXPECT_EQ(set_index(513, 9), 1u);
+}
+
+TEST(Address, BankSelectByteSitsAboveSetIndex) {
+  // Fig. 2: the 8 bits directly above the set index form the selector.
+  const BlockAddr block = (0xABull << 9) | 0x155;
+  EXPECT_EQ(bank_select_byte(block, 9), 0xAB);
+  EXPECT_EQ(chunk_of(block, 9), reverse8(0xAB));
+}
+
+TEST(Address, ConsecutiveBlocksSpreadChunksWithBitReversal) {
+  // Sequential blocks 512 apart differ in the low selector bits; reversal
+  // turns those into high chunk bits, so chunks jump across the space --
+  // the paper's uniform-footprint-distribution argument.
+  const int c0 = chunk_of(0ull << 9, 9);
+  const int c1 = chunk_of(1ull << 9, 9);
+  EXPECT_EQ(c0, 0);
+  EXPECT_EQ(c1, 128);  // bit 0 -> bit 7.
+  EXPECT_EQ(chunk_of(2ull << 9, 9), 64);
+  EXPECT_EQ(chunk_of(3ull << 9, 9), 192);
+}
+
+TEST(Address, SnucaInterleavesLines) {
+  EXPECT_EQ(snuca_bank(0, 16), 0);
+  EXPECT_EQ(snuca_bank(1, 16), 1);
+  EXPECT_EQ(snuca_bank(16, 16), 0);
+  EXPECT_EQ(snuca_set_index(16, 16, 9), 1u);
+  EXPECT_EQ(snuca_set_index(16 * 512, 16, 9), 0u);
+}
+
+TEST(Address, ChunksPartitionUniformFootprint) {
+  // A uniform footprint touches every chunk roughly equally.
+  int counts[kNumChunks] = {};
+  for (BlockAddr b = 0; b < 256 * 512; ++b) ++counts[chunk_of(b, 9)];
+  for (int c = 0; c < kNumChunks; ++c) EXPECT_EQ(counts[c], 512);
+}
+
+}  // namespace
+}  // namespace delta::mem

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "alloc/lookahead.hpp"
+#include "alloc/peekahead.hpp"
+#include "alloc/placement.hpp"
+#include "common/rng.hpp"
+
+namespace delta::alloc {
+namespace {
+
+umon::MissCurve convex(double base, double rate, int ways) {
+  std::vector<double> m(static_cast<std::size_t>(ways) + 1);
+  for (int w = 0; w <= ways; ++w)
+    m[static_cast<std::size_t>(w)] = base / (1.0 + rate * w);
+  return umon::MissCurve(std::move(m));
+}
+
+umon::MissCurve cliff(double misses, int at, int ways) {
+  std::vector<double> m(static_cast<std::size_t>(ways) + 1, misses);
+  for (int w = at; w <= ways; ++w) m[static_cast<std::size_t>(w)] = 0.0;
+  return umon::MissCurve(std::move(m));
+}
+
+umon::MissCurve random_monotone(Rng& rng, double scale, int ways) {
+  std::vector<double> m(static_cast<std::size_t>(ways) + 1);
+  double cur = scale;
+  for (int w = 0; w <= ways; ++w) {
+    m[static_cast<std::size_t>(w)] = cur;
+    cur -= rng.uniform() * scale / ways;
+    if (cur < 0) cur = 0;
+  }
+  return umon::MissCurve(std::move(m));
+}
+
+TEST(Lookahead, GreedyFavorsHighUtility) {
+  AllocRequest req;
+  req.curves.push_back(convex(1000.0, 0.5, 16));  // High utility.
+  req.curves.push_back(convex(100.0, 0.05, 16));  // Low utility.
+  req.total_ways = 16;
+  req.min_ways = 1;
+  const AllocResult r = lookahead(req);
+  EXPECT_EQ(r.ways[0] + r.ways[1], 16);
+  EXPECT_GT(r.ways[0], r.ways[1]);
+}
+
+TEST(Lookahead, RespectsMinAndMax) {
+  AllocRequest req;
+  for (int i = 0; i < 4; ++i) req.curves.push_back(convex(100.0, 0.3, 32));
+  req.total_ways = 40;
+  req.min_ways = 4;
+  req.max_ways = 12;
+  const AllocResult r = lookahead(req);
+  for (int w : r.ways) {
+    EXPECT_GE(w, 4);
+    EXPECT_LE(w, 12);
+  }
+  EXPECT_LE(std::accumulate(r.ways.begin(), r.ways.end(), 0), 40);
+}
+
+TEST(Lookahead, CrossesCliffsThatWindowedPoliciesMiss) {
+  // A farsighted allocator jumps the xalancbmk-style plateau.
+  AllocRequest req;
+  req.curves.push_back(cliff(1000.0, 10, 16));
+  req.curves.push_back(convex(50.0, 0.2, 16));
+  req.total_ways = 16;
+  req.min_ways = 1;
+  const AllocResult r = lookahead(req);
+  EXPECT_GE(r.ways[0], 10);  // Allocated past the cliff.
+}
+
+TEST(Lookahead, FlatCurvesGetNothingExtra) {
+  AllocRequest req;
+  req.curves.push_back(umon::MissCurve::flat(16, 500.0));
+  req.curves.push_back(convex(400.0, 0.4, 16));
+  req.total_ways = 16;
+  req.min_ways = 1;
+  const AllocResult r = lookahead(req);
+  EXPECT_EQ(r.ways[0], 1);  // The thrasher keeps its minimum.
+}
+
+TEST(Lookahead, MatchesOptimalOnConvexCurves) {
+  // On convex miss curves the greedy marginal-utility rule is optimal.
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    AllocRequest req;
+    for (int a = 0; a < 3; ++a)
+      req.curves.push_back(convex(100.0 + rng.uniform() * 900.0,
+                                  0.1 + rng.uniform(), 12));
+    req.total_ways = 18;
+    req.min_ways = 1;
+    const AllocResult greedy = lookahead(req);
+    const std::vector<int> opt = optimal_partition(req);
+    EXPECT_NEAR(total_misses(req, greedy.ways), total_misses(req, opt),
+                1e-6 + 0.02 * total_misses(req, opt))
+        << "trial " << trial;
+  }
+}
+
+TEST(Peekahead, SuffixHullNextOnStepCurve) {
+  const umon::MissCurve c({10.0, 10.0, 10.0, 10.0, 0.0, 0.0});
+  const auto next = suffix_hull_next(c);
+  EXPECT_EQ(next[0], 4);
+  EXPECT_EQ(next[1], 4);
+  EXPECT_EQ(next[3], 4);
+  EXPECT_EQ(next[5], 5);
+}
+
+TEST(Peekahead, SameAllocationsAsLookaheadOnRandomCurves) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    AllocRequest req;
+    const int apps = 2 + static_cast<int>(rng.below(5));
+    for (int a = 0; a < apps; ++a)
+      req.curves.push_back(random_monotone(rng, 100.0 + rng.uniform() * 1000.0, 24));
+    req.total_ways = apps * 8;
+    req.min_ways = 2;
+    const AllocResult la = lookahead(req);
+    const AllocResult pa = peekahead(req);
+    // Peekahead computes the same allocation quality as Lookahead (ties may
+    // be broken differently with equal utility): compare total misses.
+    EXPECT_NEAR(total_misses(req, pa.ways), total_misses(req, la.ways),
+                1e-6 + 0.01 * (1.0 + total_misses(req, la.ways)))
+        << "trial " << trial;
+  }
+}
+
+TEST(Peekahead, CheaperThanLookahead) {
+  AllocRequest req;
+  Rng rng(5);
+  for (int a = 0; a < 16; ++a) req.curves.push_back(random_monotone(rng, 1000.0, 64));
+  req.total_ways = 16 * 16;
+  req.min_ways = 4;
+  const AllocResult la = lookahead(req);
+  const AllocResult pa = peekahead(req);
+  EXPECT_LT(pa.steps, la.steps / 4) << "peekahead should do far less work";
+}
+
+TEST(Placement, HomeReservationAlwaysHonored) {
+  noc::Mesh mesh(4, 4);
+  PlacementRequest req;
+  req.mesh = &mesh;
+  req.ways.assign(16, 16);
+  req.home_tile.resize(16);
+  std::iota(req.home_tile.begin(), req.home_tile.end(), 0);
+  const Placement p = place_allocations(req);
+  for (int a = 0; a < 16; ++a)
+    EXPECT_GE(p[a][static_cast<std::size_t>(a)], req.reserved_home_ways);
+}
+
+TEST(Placement, BankCapacityNeverExceeded) {
+  noc::Mesh mesh(4, 4);
+  PlacementRequest req;
+  req.mesh = &mesh;
+  req.ways = {192, 4, 4, 4, 16, 16, 16, 4, 4, 4, 4, 4, 4, 4, 4, 4};
+  req.home_tile.resize(16);
+  std::iota(req.home_tile.begin(), req.home_tile.end(), 0);
+  const Placement p = place_allocations(req);
+  for (int b = 0; b < 16; ++b) {
+    int used = 0;
+    for (int a = 0; a < 16; ++a) used += p[a][static_cast<std::size_t>(b)];
+    EXPECT_LE(used, 16) << "bank " << b;
+  }
+}
+
+TEST(Placement, BigAllocationStaysNearHome) {
+  noc::Mesh mesh(4, 4);
+  PlacementRequest req;
+  req.mesh = &mesh;
+  req.ways.assign(16, 4);
+  req.ways[5] = 64;  // Needs 4 banks' worth.
+  req.home_tile.resize(16);
+  std::iota(req.home_tile.begin(), req.home_tile.end(), 0);
+  const Placement p = place_allocations(req);
+  // All of app 5's capacity lies within 2 hops of tile 5.
+  for (int b = 0; b < 16; ++b)
+    if (p[5][static_cast<std::size_t>(b)] > 0) {
+      EXPECT_LE(mesh.hops(5, b), 2);
+    }
+  EXPECT_LT(mean_placement_distance(req, p), 2.0);
+}
+
+TEST(Placement, TotalWaysConserved) {
+  noc::Mesh mesh(4, 4);
+  PlacementRequest req;
+  req.mesh = &mesh;
+  req.ways = {40, 30, 20, 10, 16, 16, 16, 16, 4, 4, 4, 4, 16, 16, 16, 16};
+  req.home_tile.resize(16);
+  std::iota(req.home_tile.begin(), req.home_tile.end(), 0);
+  const Placement p = place_allocations(req);
+  int total_requested = std::accumulate(req.ways.begin(), req.ways.end(), 0);
+  int total_placed = 0;
+  for (const auto& row : p) total_placed += std::accumulate(row.begin(), row.end(), 0);
+  // Sum of requests < chip capacity here, so everything must be placed.
+  ASSERT_LE(total_requested, 16 * 16);
+  EXPECT_EQ(total_placed, total_requested);
+}
+
+}  // namespace
+}  // namespace delta::alloc

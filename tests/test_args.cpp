@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/args.hpp"
+
+namespace delta {
+namespace {
+
+ArgParser parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SpaceSeparatedValue) {
+  const ArgParser a = parse({"--mix", "w2"});
+  EXPECT_TRUE(a.has("mix"));
+  EXPECT_EQ(a.get("mix"), "w2");
+}
+
+TEST(Args, EqualsSeparatedValue) {
+  const ArgParser a = parse({"--cores=64"});
+  EXPECT_EQ(a.get_int("cores", 16), 64);
+}
+
+TEST(Args, BooleanSwitch) {
+  const ArgParser a = parse({"--csv", "--mix", "w1"});
+  EXPECT_TRUE(a.has("csv"));
+  EXPECT_EQ(a.get("csv"), "");
+  EXPECT_EQ(a.get("mix"), "w1");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const ArgParser a = parse({});
+  EXPECT_FALSE(a.has("mix"));
+  EXPECT_EQ(a.get("mix", "w2"), "w2");
+  EXPECT_EQ(a.get_int("epochs", 300), 300);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.5), 1.5);
+}
+
+TEST(Args, IntAndDoubleParsing) {
+  const ArgParser a = parse({"--epochs", "600", "--central-ms", "0.5"});
+  EXPECT_EQ(a.get_int("epochs", 0), 600);
+  EXPECT_DOUBLE_EQ(a.get_double("central-ms", 0.0), 0.5);
+}
+
+TEST(Args, PositionalArguments) {
+  const ArgParser a = parse({"first", "--mix", "w1", "second"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "first");
+  EXPECT_EQ(a.positional()[1], "second");
+}
+
+TEST(Args, UnknownFlagDetection) {
+  const ArgParser a = parse({"--mix", "w1", "--bogus", "x"});
+  const auto unknown = a.unknown_flags({"mix", "scheme"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "bogus");
+}
+
+TEST(Args, SwitchFollowedByFlag) {
+  const ArgParser a = parse({"--csv", "--list"});
+  EXPECT_TRUE(a.has("csv"));
+  EXPECT_TRUE(a.has("list"));
+}
+
+}  // namespace
+}  // namespace delta

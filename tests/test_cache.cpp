@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mem/cache.hpp"
+#include "mem/replacement.hpp"
+
+namespace delta::mem {
+namespace {
+
+TEST(Cache, MissThenHit) {
+  SetAssocCache c(4, 2);
+  EXPECT_FALSE(c.access(0, 100, 0, full_mask(2)).hit);
+  EXPECT_TRUE(c.access(0, 100, 0, full_mask(2)).hit);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  SetAssocCache c(1, 2);
+  c.access(0, 1, 0, full_mask(2));
+  c.access(0, 2, 0, full_mask(2));
+  c.access(0, 1, 0, full_mask(2));  // 1 is now MRU; 2 is LRU.
+  c.access(0, 3, 0, full_mask(2));  // Evicts 2.
+  EXPECT_TRUE(c.contains(0, 1));
+  EXPECT_FALSE(c.contains(0, 2));
+  EXPECT_TRUE(c.contains(0, 3));
+}
+
+TEST(Cache, HitPromotesToMru) {
+  SetAssocCache c(1, 3);
+  c.access(0, 1, 0, full_mask(3));
+  c.access(0, 2, 0, full_mask(3));
+  c.access(0, 3, 0, full_mask(3));
+  c.access(0, 1, 0, full_mask(3));  // Promote 1.
+  c.access(0, 4, 0, full_mask(3));  // Should evict 2 (LRU), not 1.
+  EXPECT_TRUE(c.contains(0, 1));
+  EXPECT_FALSE(c.contains(0, 2));
+}
+
+TEST(Cache, WayMaskRestrictsInsertionButNotLookup) {
+  SetAssocCache c(1, 4);
+  // Core 0 owns ways {0,1}; core 1 owns ways {2,3}.
+  const WayMask m0 = 0b0011, m1 = 0b1100;
+  c.access(0, 10, 0, m0);
+  c.access(0, 11, 0, m0);
+  c.access(0, 20, 1, m1);
+  c.access(0, 21, 1, m1);
+  // Core 1 inserting more evicts only core 1's lines.
+  c.access(0, 22, 1, m1);
+  EXPECT_TRUE(c.contains(0, 10));
+  EXPECT_TRUE(c.contains(0, 11));
+  EXPECT_FALSE(c.contains(0, 20));
+  // Lookup across partitions: core 0 hits core 1's line.
+  EXPECT_TRUE(c.access(0, 21, 0, m0).hit);
+}
+
+TEST(Cache, EmptyMaskBypasses) {
+  SetAssocCache c(1, 2);
+  const auto res = c.access(0, 7, 0, 0);
+  EXPECT_FALSE(res.hit);
+  EXPECT_EQ(res.way, -1);
+  EXPECT_FALSE(c.contains(0, 7));
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, VictimPrefersInvalidWays) {
+  SetAssocCache c(1, 4);
+  c.access(0, 1, 0, full_mask(4));
+  const auto res = c.access(0, 2, 0, full_mask(4));
+  EXPECT_FALSE(res.evicted);
+  EXPECT_TRUE(c.contains(0, 1));
+}
+
+TEST(Cache, EvictionReportsVictim) {
+  SetAssocCache c(1, 1);
+  c.access(0, 5, 3, full_mask(1));
+  const auto res = c.access(0, 6, 4, full_mask(1));
+  EXPECT_TRUE(res.evicted);
+  EXPECT_EQ(res.victim_block, 5u);
+  EXPECT_EQ(res.victim_owner, 3);
+}
+
+TEST(Cache, InvalidateSingleLine) {
+  SetAssocCache c(2, 2);
+  c.access(1, 9, 0, full_mask(2));
+  EXPECT_TRUE(c.invalidate(1, 9));
+  EXPECT_FALSE(c.contains(1, 9));
+  EXPECT_FALSE(c.invalidate(1, 9));
+  EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, InvalidateIfSweepsByOwner) {
+  SetAssocCache c(8, 4);
+  for (BlockAddr b = 0; b < 32; ++b)
+    c.access(static_cast<std::uint32_t>(b % 8), b, static_cast<CoreId>(b % 2),
+             full_mask(4));
+  const std::uint64_t n = c.invalidate_if(
+      [](BlockAddr, CoreId owner) { return owner == 1; });
+  EXPECT_EQ(n, 16u);
+  EXPECT_EQ(c.lines_owned_by(1), 0u);
+  EXPECT_EQ(c.lines_owned_by(0), 16u);
+}
+
+TEST(Cache, OwnerTagTracksInserter) {
+  SetAssocCache c(1, 2);
+  c.access(0, 1, 7, full_mask(2));
+  EXPECT_EQ(c.lines_owned_by(7), 1u);
+  EXPECT_EQ(c.valid_lines(), 1u);
+}
+
+TEST(Cache, TouchPromotesWithoutFill) {
+  SetAssocCache c(1, 2);
+  EXPECT_FALSE(c.touch(0, 3));
+  c.access(0, 3, 0, full_mask(2));
+  EXPECT_TRUE(c.touch(0, 3));
+  EXPECT_EQ(c.stats().misses, 1u);  // touch() does not count demand stats.
+}
+
+// Property: with a single ring of blocks larger than capacity accessed
+// cyclically under LRU, the hit rate is zero (the classic LRU loop pathology
+// the paper's loop-profile applications rely on).
+TEST(CacheProperty, SequentialLoopBiggerThanCacheNeverHits) {
+  SetAssocCache c(16, 4);  // 64-line capacity.
+  const int loop_lines = 80;
+  for (int pass = 0; pass < 5; ++pass)
+    for (int i = 0; i < loop_lines; ++i)
+      c.access(static_cast<std::uint32_t>(i % 16), static_cast<BlockAddr>(i),
+               0, full_mask(4));
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(CacheProperty, SequentialLoopFittingAlwaysHitsAfterWarmup) {
+  SetAssocCache c(16, 4);
+  const int loop_lines = 64;
+  for (int i = 0; i < loop_lines; ++i)
+    c.access(static_cast<std::uint32_t>(i % 16), static_cast<BlockAddr>(i), 0,
+             full_mask(4));
+  c.reset_stats();
+  for (int pass = 0; pass < 3; ++pass)
+    for (int i = 0; i < loop_lines; ++i)
+      c.access(static_cast<std::uint32_t>(i % 16), static_cast<BlockAddr>(i), 0,
+               full_mask(4));
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+// Parameterized property: uniform random accesses over a footprint F with
+// capacity C converge to a hit rate of roughly C/F.
+class UniformHitRate : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniformHitRate, MatchesCapacityRatio) {
+  const int footprint_lines = GetParam();
+  SetAssocCache c(64, 8);  // 512-line capacity.
+  Rng rng(99);
+  for (int i = 0; i < 200'000; ++i) {
+    const BlockAddr b = rng.below(static_cast<std::uint64_t>(footprint_lines));
+    c.access(static_cast<std::uint32_t>(b % 64), b, 0, full_mask(8));
+  }
+  c.reset_stats();
+  for (int i = 0; i < 200'000; ++i) {
+    const BlockAddr b = rng.below(static_cast<std::uint64_t>(footprint_lines));
+    c.access(static_cast<std::uint32_t>(b % 64), b, 0, full_mask(8));
+  }
+  const double expect = std::min(1.0, 512.0 / footprint_lines);
+  EXPECT_NEAR(1.0 - c.stats().miss_rate(), expect, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, UniformHitRate,
+                         ::testing::Values(256, 512, 1024, 2048, 8192));
+
+TEST(TreePlru, VictimRespectsEligibility) {
+  TreePlru plru(8);
+  for (int w = 0; w < 8; ++w) plru.touch(w);
+  const int v = plru.victim(0b00010000);
+  EXPECT_EQ(v, 4);
+  EXPECT_EQ(plru.victim(0), -1);
+}
+
+TEST(TreePlru, TouchSteersVictimAway) {
+  TreePlru plru(4);
+  plru.touch(0);
+  const int v = plru.victim(full_mask(4));
+  EXPECT_NE(v, 0);
+}
+
+}  // namespace
+}  // namespace delta::mem

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/cbt.hpp"
+
+namespace delta::core {
+namespace {
+
+TEST(Cbt, InitialStateMapsEverythingHome) {
+  Cbt cbt(3);
+  for (int c = 0; c < mem::kNumChunks; ++c) EXPECT_EQ(cbt.bank_for_chunk(c), 3);
+  EXPECT_EQ(cbt.range_count(), 1);
+}
+
+TEST(Cbt, ProportionalSplit) {
+  Cbt cbt(0);
+  cbt.rebuild({{0, 16}, {5, 16}});
+  int bank0 = 0, bank5 = 0;
+  for (int c = 0; c < mem::kNumChunks; ++c) {
+    if (cbt.bank_for_chunk(c) == 0) ++bank0;
+    if (cbt.bank_for_chunk(c) == 5) ++bank5;
+  }
+  EXPECT_EQ(bank0, 128);
+  EXPECT_EQ(bank5, 128);
+  EXPECT_EQ(cbt.range_count(), 2);
+}
+
+TEST(Cbt, ProportionalToWayCounts) {
+  Cbt cbt(0);
+  cbt.rebuild({{0, 16}, {1, 4}, {2, 12}});  // 32 total: 128/32/96 chunks.
+  int counts[3] = {};
+  for (int c = 0; c < mem::kNumChunks; ++c) ++counts[cbt.bank_for_chunk(c)];
+  EXPECT_EQ(counts[0], 128);
+  EXPECT_EQ(counts[1], 32);
+  EXPECT_EQ(counts[2], 96);
+}
+
+TEST(Cbt, ChunksAlwaysPartitioned) {
+  // Invariant: every chunk maps to exactly one bank after any rebuild.
+  Cbt cbt(0);
+  cbt.rebuild({{0, 7}, {3, 5}, {9, 3}, {12, 1}});
+  int mapped = 0;
+  for (int c = 0; c < mem::kNumChunks; ++c)
+    if (cbt.bank_for_chunk(c) != kInvalidBank) ++mapped;
+  EXPECT_EQ(mapped, mem::kNumChunks);
+  // Ranges are contiguous and non-overlapping.
+  int cursor = 0;
+  for (const auto& r : cbt.ranges()) {
+    EXPECT_EQ(r.first_chunk, cursor);
+    EXPECT_GE(r.last_chunk, r.first_chunk);
+    cursor = r.last_chunk + 1;
+  }
+  EXPECT_EQ(cursor, mem::kNumChunks);
+}
+
+TEST(Cbt, EveryBankWithWaysGetsAtLeastOneChunk) {
+  Cbt cbt(0);
+  // 1 way out of 200: naive rounding would starve bank 7.
+  cbt.rebuild({{0, 199}, {7, 1}});
+  int bank7 = 0;
+  for (int c = 0; c < mem::kNumChunks; ++c)
+    if (cbt.bank_for_chunk(c) == 7) ++bank7;
+  EXPECT_GE(bank7, 1);
+}
+
+TEST(Cbt, ChangedChunksDetectsExpansion) {
+  Cbt before(0);
+  Cbt after(0);
+  after.rebuild({{0, 16}, {5, 16}});
+  const auto changed = after.changed_chunks(before);
+  EXPECT_EQ(changed.size(), 128u);
+  for (int c : changed) {
+    EXPECT_EQ(after.bank_for_chunk(c), 5);
+    EXPECT_EQ(before.bank_for_chunk(c), 0);
+  }
+}
+
+TEST(Cbt, NoChangesWhenRebuiltIdentically) {
+  Cbt a(2);
+  a.rebuild({{2, 16}, {3, 8}});
+  Cbt b = a;
+  b.rebuild({{2, 16}, {3, 8}});
+  EXPECT_TRUE(b.changed_chunks(a).empty());
+}
+
+TEST(Cbt, LookupUsesBitReversedSelector) {
+  Cbt cbt(0);
+  cbt.rebuild({{0, 1}, {9, 1}});  // Chunks 0-127 -> bank 0, 128-255 -> bank 9.
+  // Block with selector byte 0x01 has chunk reverse8(0x01) = 0x80 = 128.
+  const BlockAddr block = BlockAddr{0x01} << 9;
+  EXPECT_EQ(cbt.lookup(block, 9), 9);
+  EXPECT_EQ(cbt.lookup(0, 9), 0);
+}
+
+TEST(Cbt, StorageBitsFormula) {
+  EXPECT_EQ(Cbt::storage_bits(16), 16u * 4u);
+  EXPECT_EQ(Cbt::storage_bits(64), 64u * 6u);
+}
+
+TEST(Cbt, RetreatShrinksRangeCount) {
+  Cbt cbt(0);
+  cbt.rebuild({{0, 16}, {1, 4}, {2, 4}});
+  EXPECT_EQ(cbt.range_count(), 3);
+  cbt.rebuild({{0, 16}, {2, 4}});
+  EXPECT_EQ(cbt.range_count(), 2);
+  for (int c = 0; c < mem::kNumChunks; ++c) EXPECT_NE(cbt.bank_for_chunk(c), 1);
+}
+
+}  // namespace
+}  // namespace delta::core

@@ -1,0 +1,140 @@
+// White-box tests of the chip's timing model: interval accounting, MCU
+// feedback, interleaving and traffic bookkeeping.
+#include <gtest/gtest.h>
+
+#include "sim/chip.hpp"
+#include "sim/runner.hpp"
+
+namespace delta::sim {
+namespace {
+
+MachineConfig tiny() {
+  MachineConfig c = config16();
+  c.warmup_epochs = 10;
+  c.measure_epochs = 40;
+  return c;
+}
+
+TEST(ChipInternals, CyclesAdvanceExactlyPerEpoch) {
+  MachineConfig cfg = tiny();
+  std::vector<std::string> apps(16, "po");
+  Chip chip(cfg, apps, make_scheme(SchemeKind::kPrivate));
+  const MixResult r = chip.run("t");
+  for (const auto& a : r.apps) {
+    EXPECT_EQ(chip.slot(a.core).cycles,
+              static_cast<Cycles>(cfg.measure_epochs) * cfg.epoch_cycles);
+  }
+}
+
+TEST(ChipInternals, InstructionsScaleInverselyWithCpi) {
+  // A low-miss app must retire far more instructions than a thrasher with
+  // similar apki in the same wall-clock window.
+  MachineConfig cfg = tiny();
+  std::vector<std::string> apps(16, "idle");
+  apps[0] = "hm";  // ~5% misses at 512 KB.
+  apps[1] = "li";  // ~100% misses.
+  Chip chip(cfg, apps, make_scheme(SchemeKind::kPrivate));
+  const MixResult r = chip.run("t");
+  EXPECT_GT(r.apps[0].ipc, 1.5 * r.apps[1].ipc);
+}
+
+TEST(ChipInternals, HigherMlpHidesLatency) {
+  // Same access stream, different MLP -> different IPC.  gamess (mlp 1.5)
+  // vs zeusmp (mlp 2.5) differ, but we check the mechanism directly: the
+  // measured avg latency contributes latency/mlp stalls.
+  MachineConfig cfg = tiny();
+  std::vector<std::string> apps(16, "idle");
+  apps[0] = "le";
+  Chip chip(cfg, apps, make_scheme(SchemeKind::kPrivate));
+  const MixResult r = chip.run("t");
+  const auto& ph = workload::spec_profile("le").phases.front();
+  const double expected_cpi =
+      ph.cpi_base + ph.apki / 1000.0 * r.apps[0].avg_latency / ph.mlp;
+  EXPECT_NEAR(r.apps[0].cpi, expected_cpi, 0.05 * expected_cpi);
+}
+
+TEST(ChipInternals, MemoryTrafficMatchesMissCounts) {
+  MachineConfig cfg = tiny();
+  std::vector<std::string> apps(16, "ga");
+  Chip chip(cfg, apps, make_scheme(SchemeKind::kPrivate));
+  const MixResult r = chip.run("t");
+  std::uint64_t misses = 0;
+  for (const auto& a : r.apps) misses += a.llc_misses;
+  EXPECT_EQ(r.traffic.total(noc::MsgType::kMemRequest), misses);
+  EXPECT_EQ(r.traffic.total(noc::MsgType::kMemResponse), misses);
+}
+
+TEST(ChipInternals, LocalAccessesProduceNoNocDemandTraffic) {
+  MachineConfig cfg = tiny();
+  std::vector<std::string> apps(16, "po");  // Tiny working sets, ~no misses.
+  Chip chip(cfg, apps, make_scheme(SchemeKind::kPrivate));
+  const MixResult r = chip.run("t");
+  EXPECT_EQ(r.traffic.total(noc::MsgType::kLlcRequest), 0u);
+}
+
+TEST(ChipInternals, SnucaRemoteAccessesCountLlcTraffic) {
+  MachineConfig cfg = tiny();
+  std::vector<std::string> apps(16, "po");
+  Chip chip(cfg, apps, make_scheme(SchemeKind::kSnuca));
+  const MixResult r = chip.run("t");
+  EXPECT_GT(r.traffic.total(noc::MsgType::kLlcRequest), 0u);
+  EXPECT_EQ(r.traffic.total(noc::MsgType::kLlcRequest),
+            r.traffic.total(noc::MsgType::kLlcResponse));
+}
+
+TEST(ChipInternals, McuContentionRaisesLatencyUnderLoad) {
+  // With a single memory channel, 16 thrashers overwhelm it (the paper's
+  // 4-channel machine keeps them comfortably below saturation — verified
+  // by the bounded latency in the 4-MCU configuration).
+  MachineConfig cfg = tiny();
+  cfg.num_mcus = 1;
+  std::vector<std::string> alone(16, "idle");
+  alone[0] = "bw";
+  Chip a(cfg, alone, make_scheme(SchemeKind::kPrivate));
+  const MixResult ra = a.run("alone");
+
+  std::vector<std::string> crowd(16, "bw");
+  Chip b(cfg, crowd, make_scheme(SchemeKind::kPrivate));
+  const MixResult rb = b.run("crowd");
+  EXPECT_GT(rb.apps[0].avg_latency, ra.apps[0].avg_latency + 100.0);
+
+  // The paper's 4-channel configuration absorbs the same load.
+  MachineConfig four = tiny();
+  Chip c(four, crowd, make_scheme(SchemeKind::kPrivate));
+  const MixResult rc = c.run("crowd4");
+  EXPECT_LT(rc.apps[0].avg_latency, rb.apps[0].avg_latency);
+}
+
+TEST(ChipInternals, SeedChangesStreamsButNotScale) {
+  MachineConfig cfg = tiny();
+  MachineConfig cfg2 = tiny();
+  cfg2.seed = cfg.seed + 1;
+  std::vector<std::string> apps(16, "de");
+  Chip a(cfg, apps, make_scheme(SchemeKind::kPrivate));
+  Chip b(cfg2, apps, make_scheme(SchemeKind::kPrivate));
+  const MixResult ra = a.run("a"), rb = b.run("b");
+  EXPECT_NE(ra.apps[0].llc_misses, rb.apps[0].llc_misses);
+  EXPECT_NEAR(ra.apps[0].ipc / rb.apps[0].ipc, 1.0, 0.05);
+}
+
+TEST(ChipInternals, PhasedAppsChangeBehaviourOverTime) {
+  MachineConfig cfg = tiny();
+  cfg.warmup_epochs = 0;
+  std::vector<std::string> apps(16, "idle");
+  apps[0] = "gc";  // 150-epoch phases.
+  Chip chip(cfg, apps, make_scheme(SchemeKind::kPrivate));
+  chip.run_epochs(10, false);
+  const double cpi_early = chip.slot(0).cpi_est;
+  // Advance beyond a phase boundary (offset is seed-dependent; cross
+  // several boundaries to be sure).
+  chip.run_epochs(300, false);
+  double max_dev = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    chip.run_epochs(10, false);
+    max_dev = std::max(max_dev, std::abs(chip.slot(0).cpi_est - cpi_early));
+  }
+  EXPECT_GT(max_dev, 0.02 * cpi_early) << "phases never altered the CPI";
+}
+
+}  // namespace
+}  // namespace delta::sim

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace delta::mem {
+namespace {
+
+TEST(Hierarchy, ColdMissGoesToLlc) {
+  PrivateHierarchy h;
+  EXPECT_TRUE(h.access(42));
+  EXPECT_TRUE(h.in_l1(42));
+  EXPECT_TRUE(h.in_l2(42));
+}
+
+TEST(Hierarchy, RepeatHitsInL1) {
+  PrivateHierarchy h;
+  h.access(42);
+  EXPECT_FALSE(h.access(42));
+  EXPECT_EQ(h.stats().l1_hits, 1u);
+  EXPECT_EQ(h.stats().l2_misses, 1u);
+}
+
+TEST(Hierarchy, L1VictimStillHitsL2) {
+  // Walk 9 blocks of one L1 set (64-set stride): the first falls out of
+  // the 8-way L1 but stays in the bigger L2.
+  PrivateHierarchy h;
+  for (BlockAddr i = 0; i < 9; ++i) h.access(i * 64);
+  EXPECT_FALSE(h.in_l1(0));
+  EXPECT_TRUE(h.in_l2(0));
+  EXPECT_FALSE(h.access(0));  // L2 hit, no LLC traffic.
+  EXPECT_EQ(h.stats().l2_hits, 1u);
+}
+
+TEST(Hierarchy, L2InclusionKillsL1Copy) {
+  // Overflow one L2 set (256-block stride): the L2 victim's L1 copy must
+  // be back-invalidated by inclusivity.
+  PrivateHierarchy h;
+  for (BlockAddr i = 0; i < 9; ++i) h.access(i * 256);
+  EXPECT_FALSE(h.in_l2(0));
+  EXPECT_FALSE(h.in_l1(0)) << "inclusive L2 eviction left a stale L1 copy";
+}
+
+TEST(Hierarchy, WorkingSetFitsL2) {
+  PrivateHierarchy h;
+  Rng rng(3);
+  const BlockAddr lines = lines_in(96 * kKiB);
+  for (int i = 0; i < 60'000; ++i) h.access(rng.below(lines));
+  h.reset_stats();
+  for (int i = 0; i < 60'000; ++i) h.access(rng.below(lines));
+  EXPECT_LT(h.stats().l2_miss_ratio(), 0.02);
+  EXPECT_GT(h.stats().l1_hit_rate(), 0.2);
+}
+
+TEST(Hierarchy, WorkingSetBeyondL2Misses) {
+  PrivateHierarchy h;
+  Rng rng(4);
+  const BlockAddr lines = lines_in(1 * kMiB);
+  for (int i = 0; i < 60'000; ++i) h.access(rng.below(lines));
+  h.reset_stats();
+  for (int i = 0; i < 60'000; ++i) h.access(rng.below(lines));
+  EXPECT_GT(h.stats().l2_miss_ratio(), 0.5);
+}
+
+TEST(Hierarchy, BackInvalidateRemovesBothLevels) {
+  PrivateHierarchy h;
+  h.access(7);
+  EXPECT_EQ(h.back_invalidate(7), 2);
+  EXPECT_FALSE(h.in_l1(7));
+  EXPECT_FALSE(h.in_l2(7));
+  EXPECT_EQ(h.back_invalidate(7), 0);
+  EXPECT_EQ(h.stats().back_invalidations, 1u);
+}
+
+// The paper's minWays rationale (Sec. III-A): an inclusive LLC allocation
+// at least as large as L2 produces no back-invalidations for an L2-resident
+// working set; a smaller LLC share thrashes the private hierarchy.
+TEST(Hierarchy, HomeFloorRationale) {
+  const BlockAddr ws_lines = lines_in(96 * kKiB);  // Fits the 128 KB L2.
+  Rng rng(5);
+
+  auto run_with_llc_ways = [&](int llc_ways) {
+    PrivateHierarchy h;
+    SetAssocCache llc(512, 16);
+    const WayMask mask = full_mask(llc_ways);
+    std::uint64_t backinv = 0;
+    Rng r(5);
+    for (int i = 0; i < 120'000; ++i) {
+      const BlockAddr b = r.below(ws_lines);
+      if (!h.access(b)) continue;
+      const auto res = llc.access(static_cast<std::uint32_t>(b & 511), b, 0, mask);
+      if (res.evicted) backinv += h.back_invalidate(res.victim_block) > 0 ? 1 : 0;
+    }
+    return backinv;
+  };
+
+  const std::uint64_t with_floor = run_with_llc_ways(4);   // 128 KB = L2 size.
+  const std::uint64_t below_floor = run_with_llc_ways(2);  // 64 KB < L2.
+  EXPECT_GT(below_floor, 20 * std::max<std::uint64_t>(1, with_floor))
+      << "an LLC allocation below the 128 KB floor must thrash the L2";
+  (void)rng;
+}
+
+}  // namespace
+}  // namespace delta::mem

@@ -1,0 +1,102 @@
+// End-to-end integration tests: the qualitative results of the paper's
+// evaluation must hold on small simulations (full-length reproductions live
+// in bench/).
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+#include "sim/splash_estimator.hpp"
+#include "workload/splash.hpp"
+
+namespace delta::sim {
+namespace {
+
+MachineConfig quick16() {
+  MachineConfig c = config16();
+  c.warmup_epochs = 40;
+  c.measure_epochs = 150;
+  return c;
+}
+
+TEST(Integration, DeltaBeatsSnucaOnAHeterogeneousMix) {
+  const MachineConfig cfg = quick16();
+  const workload::Mix mix = mix_for_config(cfg, "w2");
+  const MixResult snuca = run_mix(cfg, mix, SchemeKind::kSnuca);
+  const MixResult delta = run_mix(cfg, mix, SchemeKind::kDelta);
+  EXPECT_GT(speedup(delta, snuca), 1.02)
+      << "DELTA should clearly beat unpartitioned S-NUCA on w2";
+}
+
+TEST(Integration, DeltaBeatsPrivateOnCapacityHeterogeneousMix) {
+  const MachineConfig cfg = quick16();
+  const workload::Mix mix = mix_for_config(cfg, "w1");  // LM-heavy.
+  const MixResult priv = run_mix(cfg, mix, SchemeKind::kPrivate);
+  const MixResult delta = run_mix(cfg, mix, SchemeKind::kDelta);
+  EXPECT_GT(speedup(delta, priv), 1.0);
+}
+
+TEST(Integration, IdealCentralizedAtLeastMatchesSnuca) {
+  const MachineConfig cfg = quick16();
+  const workload::Mix mix = mix_for_config(cfg, "w2");
+  const MixResult snuca = run_mix(cfg, mix, SchemeKind::kSnuca);
+  const MixResult ideal = run_mix(cfg, mix, SchemeKind::kIdealCentralized);
+  EXPECT_GT(speedup(ideal, snuca), 1.02);
+}
+
+TEST(Integration, ControlMessageOverheadIsMarginal) {
+  const MachineConfig cfg = quick16();
+  const workload::Mix mix = mix_for_config(cfg, "w6");
+  const MixResult delta = run_mix(cfg, mix, SchemeKind::kDelta);
+  const double control = static_cast<double>(delta.traffic.control_messages());
+  const double demand = static_cast<double>(delta.traffic.demand_messages());
+  ASSERT_GT(demand, 0.0);
+  // Paper Sec. IV-E2: ~0.1% worst case; allow an order of slack.
+  EXPECT_LT(control / demand, 0.01);
+}
+
+TEST(Integration, ThrashersAreContainedByDelta) {
+  // w3 is thrashing-heavy; DELTA must protect the sensitive apps from
+  // bwaves/libquantum pollution, so their IPC under DELTA must beat S-NUCA.
+  const MachineConfig cfg = quick16();
+  const workload::Mix mix = mix_for_config(cfg, "w3");
+  const MixResult snuca = run_mix(cfg, mix, SchemeKind::kSnuca);
+  const MixResult delta = run_mix(cfg, mix, SchemeKind::kDelta);
+  // tonto on cores 0/1 is cache-sensitive-low.
+  EXPECT_GT(delta.apps[0].ipc, snuca.apps[0].ipc);
+}
+
+TEST(Integration, SplashEstimatorShapesMatchPaper) {
+  const MachineConfig cfg = config16();
+  SplashConfig scfg;
+  scfg.accesses_per_thread = 30'000;
+
+  // water.nsq: almost fully private => DELTA ~ private > S-NUCA.
+  const SplashEstimate nsq =
+      estimate_splash(workload::splash_profile("water.nsq"), cfg, scfg);
+  EXPECT_GT(nsq.private_pages_pct, 95.0);
+  EXPECT_NEAR(nsq.delta_cycles, nsq.private_cycles,
+              0.05 * nsq.private_cycles);
+  EXPECT_GT(nsq.delta_speedup, 1.0);
+
+  // lu.ncont: almost fully shared => DELTA ~ S-NUCA, private loses.
+  const SplashEstimate lu =
+      estimate_splash(workload::splash_profile("lu.ncont"), cfg, scfg);
+  EXPECT_LT(lu.private_pages_pct, 5.0);
+  EXPECT_NEAR(lu.delta_cycles, lu.snuca_cycles, 0.05 * lu.snuca_cycles);
+  EXPECT_LT(lu.private_speedup, 1.0) << "private LLC must lose on heavy sharing";
+}
+
+TEST(Integration, DeltaEstimateAlwaysBetweenBaselines) {
+  const MachineConfig cfg = config16();
+  SplashConfig scfg;
+  scfg.accesses_per_thread = 15'000;
+  for (const auto& p : workload::splash_profiles()) {
+    const SplashEstimate e = estimate_splash(p, cfg, scfg);
+    const double lo = std::min(e.snuca_cycles, e.private_cycles);
+    const double hi = std::max(e.snuca_cycles, e.private_cycles);
+    EXPECT_GE(e.delta_cycles, lo * 0.999) << p.name;
+    EXPECT_LE(e.delta_cycles, hi * 1.001) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace delta::sim

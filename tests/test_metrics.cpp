@@ -1,0 +1,70 @@
+// Unit tests for the Sec. III-D metric implementations on hand-built
+// results (the live-simulation checks live in test_sim/test_integration).
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace delta::sim {
+namespace {
+
+MixResult make_result(std::vector<double> ipcs) {
+  MixResult r;
+  for (std::size_t i = 0; i < ipcs.size(); ++i) {
+    AppResult a;
+    a.app = "app" + std::to_string(i);
+    a.core = static_cast<int>(i);
+    a.ipc = ipcs[i];
+    a.cpi = ipcs[i] > 0 ? 1.0 / ipcs[i] : 0.0;
+    r.apps.push_back(a);
+  }
+  r.geomean_ipc = workload_geomean_ipc(r);
+  return r;
+}
+
+TEST(Metrics, GeomeanIpc) {
+  const MixResult r = make_result({1.0, 4.0});
+  EXPECT_DOUBLE_EQ(workload_geomean_ipc(r), 2.0);
+}
+
+TEST(Metrics, GeomeanSkipsIdleCores) {
+  const MixResult r = make_result({1.0, 0.0, 4.0});
+  EXPECT_DOUBLE_EQ(workload_geomean_ipc(r), 2.0);
+}
+
+TEST(Metrics, AnttDefinition) {
+  // ANTT = (1/N) sum CPI_i / CPI_i,private.  App 0 runs 2x slower than its
+  // private run, app 1 at parity -> ANTT = (2 + 1) / 2 = 1.5.
+  const MixResult priv = make_result({1.0, 1.0});
+  const MixResult r = make_result({0.5, 1.0});
+  EXPECT_DOUBLE_EQ(antt(r, priv), 1.5);
+}
+
+TEST(Metrics, StpDefinition) {
+  // STP = sum CPI_i,private / CPI_i.  App 0 at half speed contributes 0.5,
+  // app 1 at double speed contributes 2.0.
+  const MixResult priv = make_result({1.0, 1.0});
+  const MixResult r = make_result({0.5, 2.0});
+  EXPECT_DOUBLE_EQ(stp(r, priv), 2.5);
+}
+
+TEST(Metrics, AnttLowerIsFairer) {
+  const MixResult priv = make_result({1.0, 1.0});
+  const MixResult balanced = make_result({0.9, 0.9});
+  const MixResult skewed = make_result({1.3, 0.5});
+  EXPECT_LT(antt(balanced, priv), antt(skewed, priv));
+}
+
+TEST(Metrics, SpeedupIsGeomeanRatio) {
+  const MixResult base = make_result({1.0, 1.0, 1.0, 1.0});
+  const MixResult faster = make_result({1.1, 1.1, 1.1, 1.1});
+  EXPECT_NEAR(speedup(faster, base), 1.1, 1e-12);
+}
+
+TEST(Metrics, SpeedupOfZeroBaselineIsZero) {
+  MixResult base = make_result({0.0});
+  const MixResult r = make_result({1.0});
+  EXPECT_DOUBLE_EQ(speedup(r, base), 0.0);
+}
+
+}  // namespace
+}  // namespace delta::sim

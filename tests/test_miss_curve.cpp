@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "umon/miss_curve.hpp"
+
+namespace delta::umon {
+namespace {
+
+TEST(MissCurve, AtClampsOutOfRange) {
+  MissCurve c({10.0, 5.0, 2.0});
+  EXPECT_DOUBLE_EQ(c.at(-3), 10.0);
+  EXPECT_DOUBLE_EQ(c.at(0), 10.0);
+  EXPECT_DOUBLE_EQ(c.at(2), 2.0);
+  EXPECT_DOUBLE_EQ(c.at(99), 2.0);
+  EXPECT_EQ(c.max_ways(), 2);
+}
+
+TEST(MissCurve, SavedAndMarginalUtility) {
+  MissCurve c({10.0, 6.0, 5.0, 1.0});
+  EXPECT_DOUBLE_EQ(c.saved(0, 3), 9.0);
+  EXPECT_DOUBLE_EQ(c.marginal_utility(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(c.marginal_utility(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(c.marginal_utility(2, 3), 4.0);
+}
+
+TEST(MissCurve, MakeMonotoneFixesJitter) {
+  MissCurve c({10.0, 8.0, 9.0, 7.0});
+  c.make_monotone();
+  EXPECT_DOUBLE_EQ(c.at(2), 8.0);
+  EXPECT_DOUBLE_EQ(c.at(3), 7.0);
+}
+
+TEST(MissCurve, FlatFactory) {
+  const MissCurve c = MissCurve::flat(4, 3.0);
+  EXPECT_EQ(c.max_ways(), 4);
+  for (int w = 0; w <= 4; ++w) EXPECT_DOUBLE_EQ(c.at(w), 3.0);
+}
+
+TEST(MissCurve, ConvexHullOfConvexCurveKeepsAllPoints) {
+  // Strictly convex decreasing curve: every point is a hull vertex.
+  MissCurve c({16.0, 9.0, 4.0, 1.0, 0.0});
+  const auto hull = c.convex_hull_points();
+  EXPECT_EQ(hull.size(), 5u);
+}
+
+TEST(MissCurve, ConvexHullSkipsCliffPlateau) {
+  // Step curve: plateau points before the cliff are not hull vertices.
+  MissCurve c({10.0, 10.0, 10.0, 10.0, 0.0, 0.0});
+  const auto hull = c.convex_hull_points();
+  ASSERT_GE(hull.size(), 2u);
+  EXPECT_EQ(hull.front(), 0);
+  // The interior plateau (1..3) must be bypassed.
+  for (int p : hull) EXPECT_TRUE(p == 0 || p >= 4);
+}
+
+}  // namespace
+}  // namespace delta::umon

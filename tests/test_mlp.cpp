@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "sim/chip.hpp"
+#include "sim/runner.hpp"
+#include "umon/mlp.hpp"
+
+namespace delta {
+namespace {
+
+TEST(MlpEstimator, DefaultsToSerialised) {
+  umon::MlpEstimator e;
+  EXPECT_DOUBLE_EQ(e.get(), 1.0);
+  EXPECT_FALSE(e.initialised());
+}
+
+TEST(MlpEstimator, LittlesLawRatio) {
+  umon::MlpEstimator e;
+  // 1000 accesses, 350 cycles each, but only 87,500 stall cycles paid:
+  // 4 outstanding on average.
+  e.observe(1000, 350'000.0, 87'500.0);
+  EXPECT_DOUBLE_EQ(e.get(), 4.0);
+}
+
+TEST(MlpEstimator, EwmaSmoothing) {
+  umon::MlpEstimator e(0.5);
+  e.observe(100, 400.0, 100.0);  // 4.0
+  e.observe(100, 200.0, 100.0);  // 2.0 -> EWMA 3.0
+  EXPECT_DOUBLE_EQ(e.get(), 3.0);
+}
+
+TEST(MlpEstimator, IgnoresDegenerateIntervals) {
+  umon::MlpEstimator e;
+  e.observe(0, 0.0, 0.0);
+  e.observe(10, 100.0, 0.0);
+  EXPECT_FALSE(e.initialised());
+  e.observe(10, 50.0, 100.0);  // Ratio < 1 clamps to 1.
+  EXPECT_DOUBLE_EQ(e.get(), 1.0);
+}
+
+TEST(MlpEstimator, ResetClears) {
+  umon::MlpEstimator e;
+  e.observe(10, 400.0, 100.0);
+  e.reset();
+  EXPECT_FALSE(e.initialised());
+  EXPECT_DOUBLE_EQ(e.get(), 1.0);
+}
+
+TEST(MlpIntegration, EstimatorConvergesToProfileMlp) {
+  sim::MachineConfig cfg = sim::config16();
+  cfg.warmup_epochs = 0;
+  cfg.measure_epochs = 0;
+  std::vector<std::string> apps(16, "idle");
+  apps[0] = "le";  // mlp 3.5.
+  sim::Chip chip(cfg, apps, sim::make_scheme(sim::SchemeKind::kPrivate));
+  chip.run_epochs(30, false);
+  EXPECT_NEAR(chip.slot(0).mlp_estimator.get(), 3.5, 0.2);
+}
+
+TEST(MlpIntegration, MeasuredMlpModeStaysCompetitive) {
+  sim::MachineConfig cfg = sim::config16();
+  cfg.warmup_epochs = 30;
+  cfg.measure_epochs = 100;
+  const workload::Mix mix = sim::mix_for_config(cfg, "w9");
+  const sim::MixResult snuca = sim::run_mix(cfg, mix, sim::SchemeKind::kSnuca);
+  const sim::MixResult oracle = sim::run_mix(cfg, mix, sim::SchemeKind::kDelta);
+
+  sim::MachineConfig measured = cfg;
+  measured.measured_mlp = true;
+  const sim::MixResult counters = sim::run_mix(measured, mix, sim::SchemeKind::kDelta);
+
+  EXPECT_GT(sim::speedup(counters, snuca), 1.0);
+  EXPECT_NEAR(sim::speedup(counters, snuca) / sim::speedup(oracle, snuca), 1.0, 0.04);
+}
+
+}  // namespace
+}  // namespace delta

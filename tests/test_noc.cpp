@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "noc/mcu.hpp"
+#include "noc/mesh.hpp"
+#include "noc/traffic.hpp"
+
+namespace delta::noc {
+namespace {
+
+TEST(Mesh, CoordinatesRoundTrip) {
+  Mesh m(4, 4);
+  for (int t = 0; t < m.tiles(); ++t) EXPECT_EQ(m.tile(m.coord(t)), t);
+  EXPECT_EQ(m.coord(5).x, 1);
+  EXPECT_EQ(m.coord(5).y, 1);
+}
+
+TEST(Mesh, ManhattanHops) {
+  Mesh m(4, 4);
+  EXPECT_EQ(m.hops(0, 0), 0);
+  EXPECT_EQ(m.hops(0, 3), 3);
+  EXPECT_EQ(m.hops(0, 15), 6);
+  EXPECT_EQ(m.hops(5, 6), 1);
+  EXPECT_EQ(m.hops(5, 9), 1);
+}
+
+TEST(Mesh, LatencyIsFourCyclesPerHop) {
+  Mesh m(8, 8);
+  EXPECT_EQ(m.latency(0, 0), 0u);
+  EXPECT_EQ(m.latency(0, 1), 4u);
+  EXPECT_EQ(m.round_trip(0, 63), 2u * 14 * 4);
+}
+
+TEST(Mesh, XyRouteIsDimensionOrdered) {
+  Mesh m(4, 4);
+  const auto path = m.route(0, 10);  // (0,0) -> (2,2).
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_EQ(path[2], 2);   // X first.
+  EXPECT_EQ(path[3], 6);   // then Y.
+  EXPECT_EQ(path.back(), 10);
+}
+
+TEST(Mesh, ByDistanceStartsWithNeighbours) {
+  Mesh m(4, 4);
+  const auto order = m.by_distance(5);
+  ASSERT_EQ(order.size(), 15u);
+  // Distance-1 neighbours of tile 5 are 1, 4, 6, 9.
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 4);
+  EXPECT_EQ(order[2], 6);
+  EXPECT_EQ(order[3], 9);
+  // Monotone non-decreasing distance.
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(m.hops(5, order[i - 1]), m.hops(5, order[i]));
+}
+
+TEST(Mesh, MeanHopsGrowsWithMeshSize) {
+  Mesh m4(4, 4), m8(8, 8);
+  const double h4 = m4.mean_hops_from(5);
+  const double h8 = m8.mean_hops_from(9);
+  EXPECT_GT(h8, h4);
+  EXPECT_NEAR(m4.mean_hops_from(0), 3.0, 1e-9);  // (mean x) + (mean y) = 1.5+1.5.
+}
+
+TEST(Traffic, CountsPerType) {
+  TrafficStats t;
+  t.count(MsgType::kChallenge, 3);
+  t.count(MsgType::kLlcRequest, 100);
+  t.count(MsgType::kMemRequest, 10);
+  t.count(MsgType::kIntraFeedback);
+  EXPECT_EQ(t.total(MsgType::kChallenge), 3u);
+  EXPECT_EQ(t.control_messages(), 4u);
+  EXPECT_EQ(t.demand_messages(), 110u);
+  t.reset();
+  EXPECT_EQ(t.control_messages(), 0u);
+}
+
+TEST(Mcu, IdleLatencyWhenUnloaded) {
+  MemoryController mcu;
+  EXPECT_EQ(mcu.request_latency(), 320u);
+  mcu.end_epoch(400'000);
+  EXPECT_EQ(mcu.queue_delay(), 0u);  // 1 request in 400K cycles ~ idle.
+}
+
+TEST(Mcu, QueueDelayGrowsWithLoad) {
+  MemoryController mcu;
+  // Saturating load: capacity is ~19.7K lines per 400K-cycle epoch.
+  for (int i = 0; i < 15'000; ++i) mcu.request_latency();
+  mcu.end_epoch(400'000);
+  const Cycles moderate = mcu.queue_delay();
+  EXPECT_GT(moderate, 0u);
+  for (int i = 0; i < 40'000; ++i) mcu.request_latency();
+  mcu.end_epoch(400'000);
+  EXPECT_GT(mcu.queue_delay(), moderate);
+  EXPECT_LE(mcu.queue_delay(), 2000u);  // Clamped.
+}
+
+TEST(Mcu, UtilizationReported) {
+  MemoryController mcu;
+  for (int i = 0; i < 10'000; ++i) mcu.request_latency();
+  mcu.end_epoch(400'000);
+  EXPECT_GT(mcu.utilization(), 0.4);
+  EXPECT_LT(mcu.utilization(), 0.7);
+}
+
+TEST(MemorySystem, InterleavesAcrossMcus) {
+  MemorySystem ms(4, 4, 4);
+  EXPECT_EQ(ms.num_mcus(), 4);
+  EXPECT_EQ(ms.mcu_for(0), 0);
+  EXPECT_EQ(ms.mcu_for(5), 1);
+  // Attachment tiles sit on the top/bottom rows.
+  for (int i = 0; i < 4; ++i) {
+    const int tile = ms.attach_tile(i);
+    const int row = tile / 4;
+    EXPECT_TRUE(row == 0 || row == 3) << tile;
+  }
+}
+
+TEST(MemorySystem, EightMcusOn8x8) {
+  MemorySystem ms(8, 8, 8);
+  for (int i = 0; i < 8; ++i) {
+    const int tile = ms.attach_tile(i);
+    const int row = tile / 8;
+    EXPECT_TRUE(row == 0 || row == 7);
+  }
+}
+
+}  // namespace
+}  // namespace delta::noc

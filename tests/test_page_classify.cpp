@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/page_classify.hpp"
+
+namespace delta::core {
+namespace {
+
+TEST(PageClassifier, FirstTouchIsPrivate) {
+  PageClassifier pc;
+  const PageEvent ev = pc.on_access(2, 0x1000);
+  EXPECT_EQ(ev.cls, PageClass::kPrivate);
+  EXPECT_FALSE(ev.reclassified);
+  EXPECT_EQ(pc.owner(0x1000), 2);
+  EXPECT_EQ(pc.classify(0x1000), PageClass::kPrivate);
+}
+
+TEST(PageClassifier, SameOwnerStaysPrivate) {
+  PageClassifier pc;
+  pc.on_access(1, 0x2000);
+  const PageEvent ev = pc.on_access(1, 0x2008);  // Same page.
+  EXPECT_EQ(ev.cls, PageClass::kPrivate);
+  EXPECT_FALSE(ev.reclassified);
+  EXPECT_EQ(pc.private_pages(), 1u);
+}
+
+TEST(PageClassifier, SecondCoreFlipsToShared) {
+  PageClassifier pc;
+  pc.on_access(0, 0x3000);
+  const PageEvent ev = pc.on_access(1, 0x3040);
+  EXPECT_EQ(ev.cls, PageClass::kShared);
+  EXPECT_TRUE(ev.reclassified);
+  EXPECT_EQ(pc.classify(0x3000), PageClass::kShared);
+  EXPECT_EQ(pc.owner(0x3000), kInvalidCore);
+  EXPECT_EQ(pc.reclassifications(), 1u);
+}
+
+TEST(PageClassifier, ReclassificationHappensAtMostOnce) {
+  // Paper Sec. IV-C: "private pages are reclassified at most once, and the
+  // S-NUCA mapping is never reverted".
+  PageClassifier pc;
+  pc.on_access(0, 0x4000);
+  pc.on_access(1, 0x4000);
+  const PageEvent ev1 = pc.on_access(2, 0x4000);
+  const PageEvent ev2 = pc.on_access(0, 0x4000);
+  EXPECT_FALSE(ev1.reclassified);
+  EXPECT_FALSE(ev2.reclassified);
+  EXPECT_EQ(pc.reclassifications(), 1u);
+}
+
+TEST(PageClassifier, CountsTrackState) {
+  PageClassifier pc;
+  pc.on_access(0, 0 * kPageBytes);
+  pc.on_access(0, 1 * kPageBytes);
+  pc.on_access(1, 2 * kPageBytes);
+  pc.on_access(1, 1 * kPageBytes);  // Flip page 1.
+  EXPECT_EQ(pc.private_pages(), 2u);
+  EXPECT_EQ(pc.shared_pages(), 1u);
+}
+
+TEST(PageClassifier, PageGranularityIs4K) {
+  PageClassifier pc;
+  pc.on_access(0, 0x0);
+  const PageEvent same = pc.on_access(1, 0xFFF);   // Same page -> flip.
+  EXPECT_TRUE(same.reclassified);
+  const PageEvent other = pc.on_access(1, 0x1000);  // Next page -> private.
+  EXPECT_EQ(other.cls, PageClass::kPrivate);
+}
+
+TEST(PageClassifier, UntouchedQueries) {
+  PageClassifier pc;
+  EXPECT_EQ(pc.classify(0x9000), PageClass::kUntouched);
+  EXPECT_EQ(pc.owner(0x9000), kInvalidCore);
+}
+
+TEST(PageClassifier, ResetClears) {
+  PageClassifier pc;
+  pc.on_access(0, 0x1000);
+  pc.on_access(1, 0x1000);
+  pc.reset();
+  EXPECT_EQ(pc.private_pages(), 0u);
+  EXPECT_EQ(pc.shared_pages(), 0u);
+  EXPECT_EQ(pc.classify(0x1000), PageClass::kUntouched);
+}
+
+}  // namespace
+}  // namespace delta::core

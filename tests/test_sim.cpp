@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "mem/address.hpp"
+#include "sim/chip.hpp"
+#include "sim/metrics.hpp"
+#include "sim/runner.hpp"
+
+namespace delta::sim {
+namespace {
+
+MachineConfig tiny_config() {
+  MachineConfig c = config16();
+  c.warmup_epochs = 20;
+  c.measure_epochs = 60;
+  return c;
+}
+
+std::vector<std::string> simple_apps() {
+  return {"mc", "po", "sj", "na", "ze", "hm", "ga", "gr",
+          "po", "sj", "na", "ze", "hm", "ga", "gr", "po"};
+}
+
+TEST(Chip, RunsAndProducesPlausibleIpc) {
+  MachineConfig cfg = tiny_config();
+  Chip chip(cfg, simple_apps(), make_scheme(SchemeKind::kSnuca));
+  const MixResult r = chip.run("smoke");
+  ASSERT_EQ(r.apps.size(), 16u);
+  for (const auto& a : r.apps) {
+    EXPECT_GT(a.ipc, 0.05) << a.app;
+    EXPECT_LT(a.ipc, 4.0) << a.app;
+    EXPECT_GT(a.instructions, 0u);
+  }
+  EXPECT_GT(r.geomean_ipc, 0.0);
+}
+
+TEST(Chip, DeterministicAcrossRuns) {
+  MachineConfig cfg = tiny_config();
+  Chip a(cfg, simple_apps(), make_scheme(SchemeKind::kDelta));
+  Chip b(cfg, simple_apps(), make_scheme(SchemeKind::kDelta));
+  const MixResult ra = a.run("x");
+  const MixResult rb = b.run("x");
+  for (std::size_t i = 0; i < ra.apps.size(); ++i)
+    EXPECT_DOUBLE_EQ(ra.apps[i].ipc, rb.apps[i].ipc);
+}
+
+TEST(Chip, IdleCoresStayIdle) {
+  MachineConfig cfg = tiny_config();
+  std::vector<std::string> apps = simple_apps();
+  apps[3] = "idle";
+  Chip chip(cfg, apps, make_scheme(SchemeKind::kSnuca));
+  const MixResult r = chip.run("idle-test");
+  EXPECT_EQ(r.apps[3].instructions, 0u);
+  EXPECT_EQ(r.apps[3].ipc, 0.0);
+}
+
+TEST(Chip, PrivateSchemeKeepsAccessesLocal) {
+  MachineConfig cfg = tiny_config();
+  Chip chip(cfg, simple_apps(), make_scheme(SchemeKind::kPrivate));
+  const MixResult r = chip.run("private");
+  for (const auto& a : r.apps) EXPECT_DOUBLE_EQ(a.avg_hops, 0.0);
+}
+
+TEST(Chip, SnucaSpreadsAccessesAcrossBanks) {
+  MachineConfig cfg = tiny_config();
+  Chip chip(cfg, simple_apps(), make_scheme(SchemeKind::kSnuca));
+  const MixResult r = chip.run("snuca");
+  double hops = 0.0;
+  for (const auto& a : r.apps) hops += a.avg_hops;
+  EXPECT_GT(hops / 16.0, 1.5);  // Mean NoC distance on a 4x4 mesh.
+}
+
+TEST(Chip, DeltaReducesDistanceVsSnuca) {
+  MachineConfig cfg = tiny_config();
+  Chip snuca(cfg, simple_apps(), make_scheme(SchemeKind::kSnuca));
+  Chip delta(cfg, simple_apps(), make_scheme(SchemeKind::kDelta));
+  const MixResult rs = snuca.run("m");
+  const MixResult rd = delta.run("m");
+  double hs = 0.0, hd = 0.0;
+  for (const auto& a : rs.apps) hs += a.avg_hops;
+  for (const auto& a : rd.apps) hd += a.avg_hops;
+  EXPECT_LT(hd, hs * 0.6) << "DELTA should keep data much closer than S-NUCA";
+}
+
+TEST(Chip, CacheHungryAppGrowsUnderDelta) {
+  MachineConfig cfg = tiny_config();
+  cfg.measure_epochs = 120;
+  Chip chip(cfg, simple_apps(), make_scheme(SchemeKind::kDelta));
+  const MixResult r = chip.run("growth");
+  // Core 0 runs mcf (5 MB appetite) among content apps: it must have
+  // expanded well beyond its 16-way home bank.
+  EXPECT_GT(r.apps[0].avg_ways, 20.0);
+}
+
+TEST(Chip, BulkInvalidationRemovesExactlyMatchingLines) {
+  MachineConfig cfg = tiny_config();
+  Chip chip(cfg, simple_apps(), make_scheme(SchemeKind::kPrivate));
+  chip.run_epochs(5, false);
+  // Invalidate all of core 2's chunks in its home bank.
+  std::vector<int> all_chunks(mem::kNumChunks);
+  for (int i = 0; i < mem::kNumChunks; ++i) all_chunks[i] = i;
+  const std::uint64_t owned = chip.bank(2).lines_owned_by(2);
+  ASSERT_GT(owned, 0u);
+  const std::uint64_t dropped = chip.invalidate_core_chunks(2, 2, all_chunks);
+  EXPECT_EQ(dropped, owned);
+  EXPECT_EQ(chip.bank(2).lines_owned_by(2), 0u);
+}
+
+TEST(Metrics, AnttAndStpAgainstSelfAreNeutral) {
+  MachineConfig cfg = tiny_config();
+  Chip chip(cfg, simple_apps(), make_scheme(SchemeKind::kPrivate));
+  const MixResult r = chip.run("self");
+  EXPECT_NEAR(antt(r, r), 1.0, 1e-12);
+  EXPECT_NEAR(stp(r, r), 16.0, 1e-9);
+  EXPECT_NEAR(speedup(r, r), 1.0, 1e-12);
+}
+
+TEST(Runner, MixForConfigReplicates) {
+  const workload::Mix m16 = mix_for_config(config16(), "w1");
+  EXPECT_EQ(m16.apps.size(), 16u);
+  const workload::Mix m64 = mix_for_config(config64(), "w1");
+  EXPECT_EQ(m64.apps.size(), 64u);
+}
+
+TEST(Runner, MismatchedMixThrows) {
+  workload::Mix bad;
+  bad.name = "bad";
+  bad.apps = {"po", "sj"};
+  EXPECT_THROW(run_mix(config16(), bad, SchemeKind::kSnuca), std::invalid_argument);
+}
+
+TEST(Scheme, FactoryNames) {
+  EXPECT_EQ(make_scheme(SchemeKind::kSnuca)->name(), "snuca");
+  EXPECT_EQ(make_scheme(SchemeKind::kPrivate)->name(), "private");
+  EXPECT_EQ(make_scheme(SchemeKind::kIdealCentralized)->name(), "ideal-central");
+  EXPECT_EQ(make_scheme(SchemeKind::kDelta)->name(), "delta");
+  EXPECT_EQ(to_string(SchemeKind::kDelta), "delta");
+}
+
+}  // namespace
+}  // namespace delta::sim

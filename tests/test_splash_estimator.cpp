@@ -1,0 +1,71 @@
+// Unit tests of the Sec. IV-C estimation pipeline (beyond the end-to-end
+// shape checks in test_integration).
+#include <gtest/gtest.h>
+
+#include "sim/splash_estimator.hpp"
+#include "workload/splash.hpp"
+
+namespace delta::sim {
+namespace {
+
+SplashConfig fast() {
+  SplashConfig c;
+  c.accesses_per_thread = 12'000;
+  return c;
+}
+
+TEST(SplashEstimator, DeterministicAcrossCalls) {
+  const auto& p = workload::splash_profile("fft");
+  const SplashEstimate a = estimate_splash(p, config16(), fast());
+  const SplashEstimate b = estimate_splash(p, config16(), fast());
+  EXPECT_DOUBLE_EQ(a.delta_cycles, b.delta_cycles);
+  EXPECT_DOUBLE_EQ(a.snuca_cycles, b.snuca_cycles);
+  EXPECT_DOUBLE_EQ(a.private_pages_pct, b.private_pages_pct);
+}
+
+TEST(SplashEstimator, ClassifierTracksGroundTruthSharing) {
+  for (const char* name : {"barnes", "cholesky", "water.nsq", "lu.cont"}) {
+    const auto& p = workload::splash_profile(name);
+    const SplashEstimate e = estimate_splash(p, config16(), fast());
+    EXPECT_NEAR(e.private_pages_pct, p.target_private_pages_pct, 8.0) << name;
+  }
+}
+
+TEST(SplashEstimator, PiecewiseReconstructionFormula) {
+  const auto& p = workload::splash_profile("fmm");
+  const SplashEstimate e = estimate_splash(p, config16(), fast());
+  const double f = e.private_pages_pct / 100.0;
+  EXPECT_NEAR(e.delta_cycles, f * e.private_cycles + (1.0 - f) * e.snuca_cycles,
+              1e-6 * e.delta_cycles);
+  EXPECT_NEAR(e.delta_speedup, e.snuca_cycles / e.delta_cycles, 1e-12);
+}
+
+TEST(SplashEstimator, PositiveCyclesForAllApps) {
+  for (const auto& p : workload::splash_profiles()) {
+    const SplashEstimate e = estimate_splash(p, config16(), fast());
+    EXPECT_GT(e.snuca_cycles, 0.0) << p.name;
+    EXPECT_GT(e.private_cycles, 0.0) << p.name;
+    EXPECT_GT(e.delta_cycles, 0.0) << p.name;
+  }
+}
+
+TEST(SplashEstimator, HeavySharingPunishesPrivateConfig) {
+  // The private configuration replicates shared lines and eats coherence
+  // invalidations; with a >6 MB shared region in 512 KB banks it must lose
+  // to S-NUCA's single shared copy.
+  // Needs enough accesses that the 6 MB shared region is past cold misses.
+  SplashConfig scfg;
+  scfg.accesses_per_thread = 40'000;
+  const SplashEstimate lu =
+      estimate_splash(workload::splash_profile("lu.cont"), config16(), scfg);
+  EXPECT_GT(lu.private_cycles, lu.snuca_cycles);
+}
+
+TEST(SplashEstimator, AllPrivateAppPrefersPrivateConfig) {
+  const SplashEstimate w =
+      estimate_splash(workload::splash_profile("water.nsq"), config16(), fast());
+  EXPECT_LT(w.private_cycles, w.snuca_cycles);
+}
+
+}  // namespace
+}  // namespace delta::sim

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "umon/umon.hpp"
+
+namespace delta::umon {
+namespace {
+
+UmonConfig small_cfg() {
+  UmonConfig c;
+  c.max_ways = 32;
+  c.sets_log2 = 9;
+  c.set_dilution = 1;  // Monitor everything: exact stack distances.
+  return c;
+}
+
+TEST(Umon, ColdAccessesAreMisses) {
+  Umon u(small_cfg());
+  for (BlockAddr b = 0; b < 512; ++b) u.access(b);
+  EXPECT_DOUBLE_EQ(u.misses_at_max(), 512.0);
+  EXPECT_DOUBLE_EQ(u.accesses(), 512.0);
+}
+
+TEST(Umon, RepeatAccessHitsAtDistanceZero) {
+  Umon u(small_cfg());
+  u.access(0);
+  u.access(0);
+  EXPECT_DOUBLE_EQ(u.hits_between(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(u.hits_between(1, 32), 0.0);
+}
+
+TEST(Umon, StackDistanceMeasuredPerSet) {
+  Umon u(small_cfg());
+  // Three distinct blocks in the same set (512 apart), then re-touch the
+  // first: its per-set stack distance is 2.
+  u.access(0);
+  u.access(512);
+  u.access(1024);
+  u.access(0);
+  EXPECT_DOUBLE_EQ(u.hits_between(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(u.hits_between(0, 2), 0.0);
+}
+
+TEST(Umon, MissCurveMonotoneNonIncreasing) {
+  Umon u(small_cfg());
+  Rng rng(3);
+  for (int i = 0; i < 50'000; ++i) u.access(rng.below(512 * 8));
+  const MissCurve mc = u.miss_curve();
+  for (int w = 1; w <= mc.max_ways(); ++w) EXPECT_LE(mc.at(w), mc.at(w - 1));
+  EXPECT_DOUBLE_EQ(mc.at(0), u.accesses());
+}
+
+TEST(Umon, LoopFootprintShowsCliff) {
+  // A cyclic sweep over 8 ways' worth of lines: every reuse has per-set
+  // stack distance exactly 8, so the miss curve steps at 8 ways.
+  Umon u(small_cfg());
+  const BlockAddr lines = 512 * 8;
+  for (int pass = 0; pass < 4; ++pass)
+    for (BlockAddr b = 0; b < lines; ++b) u.access(b);
+  const MissCurve mc = u.miss_curve();
+  // A loop of 8 lines/set has stack distance exactly 7: with <= 7 ways
+  // everything (beyond cold) misses; with 8+ everything hits.
+  EXPECT_GT(mc.at(7), 0.7 * u.accesses());
+  EXPECT_LT(mc.at(8), 0.3 * u.accesses());
+}
+
+TEST(Umon, UniformFootprintGivesLinearCurve) {
+  Umon u(small_cfg());
+  Rng rng(11);
+  const BlockAddr lines = 512 * 16;  // 16 ways' worth.
+  for (int i = 0; i < 400'000; ++i) u.access(rng.below(lines));
+  const MissCurve mc = u.miss_curve();
+  // Misses at w ways ~ accesses * (1 - w/16); check mid-point loosely.
+  const double frac8 = mc.at(8) / u.accesses();
+  EXPECT_NEAR(frac8, 0.5, 0.1);
+}
+
+TEST(Umon, DilutionScalesCountsBack) {
+  UmonConfig cfg = small_cfg();
+  cfg.set_dilution = 16;
+  Umon diluted(cfg);
+  Umon exact(small_cfg());
+  Rng rng(5);
+  for (int i = 0; i < 600'000; ++i) {
+    const BlockAddr b = rng.below(512 * 4);
+    diluted.access(b);
+    exact.access(b);
+  }
+  // Scaled sampled counts approximate the exact counts within ~10%.
+  EXPECT_NEAR(diluted.accesses() / exact.accesses(), 1.0, 0.1);
+  EXPECT_NEAR(diluted.hits_between(0, 32) / exact.hits_between(0, 32), 1.0, 0.1);
+}
+
+TEST(Umon, CoarseCountersApproximateFine) {
+  Umon u(small_cfg());
+  Rng rng(8);
+  for (int i = 0; i < 300'000; ++i) u.access(rng.below(512 * 12));
+  // Windows aligned to 4-way buckets agree exactly; unaligned interpolate.
+  EXPECT_NEAR(u.coarse_hits_between(0, 4), u.hits_between(0, 4),
+              0.02 * u.accesses() + 1);
+  EXPECT_NEAR(u.coarse_hits_between(4, 12), u.hits_between(4, 12),
+              0.06 * u.accesses() + 1);
+}
+
+TEST(Umon, DecayHalvesCounters) {
+  Umon u(small_cfg());
+  u.access(1);
+  u.access(1);
+  const double before = u.hits_between(0, 1);
+  u.decay(0.5);
+  EXPECT_DOUBLE_EQ(u.hits_between(0, 1), before / 2.0);
+}
+
+TEST(Umon, ResetClearsEverything) {
+  Umon u(small_cfg());
+  u.access(1);
+  u.access(1);
+  u.reset();
+  EXPECT_DOUBLE_EQ(u.accesses(), 0.0);
+  EXPECT_DOUBLE_EQ(u.hits_between(0, 32), 0.0);
+}
+
+TEST(Umon, CoarseMissCurveMonotone) {
+  Umon u(small_cfg());
+  Rng rng(21);
+  for (int i = 0; i < 100'000; ++i) u.access(rng.below(512 * 6));
+  const MissCurve mc = u.coarse_miss_curve();
+  for (int w = 1; w <= mc.max_ways(); ++w) EXPECT_LE(mc.at(w), mc.at(w - 1));
+}
+
+TEST(Umon, StorageCostReportsCoarseSavings) {
+  UmonConfig fine = small_cfg();
+  Umon u(fine);
+  EXPECT_GT(u.storage_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace delta::umon

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/way_partition.hpp"
+
+namespace delta::core {
+namespace {
+
+TEST(WpUnit, InitialOwnerEverywhere) {
+  WpUnit wp(16, 3);
+  EXPECT_EQ(wp.ways_of(3), 16);
+  EXPECT_EQ(wp.mask_of(3), 0xFFFFu);
+  EXPECT_EQ(wp.mask_of(4), 0u);
+  EXPECT_EQ(wp.partitions(), std::vector<CoreId>{3});
+}
+
+TEST(WpUnit, TransferMovesHighestWaysFirst) {
+  WpUnit wp(16, 5);
+  const int moved = wp.transfer(5, 4, 4);
+  EXPECT_EQ(moved, 4);
+  // Paper Fig. 3: ways 12-15 go to the challenger.
+  for (int w = 12; w < 16; ++w) EXPECT_EQ(wp.owner(w), 4);
+  for (int w = 0; w < 12; ++w) EXPECT_EQ(wp.owner(w), 5);
+  EXPECT_EQ(wp.mask_of(4), 0xF000u);
+}
+
+TEST(WpUnit, TransferCappedByAvailability) {
+  WpUnit wp(8, 0);
+  wp.transfer(0, 1, 3);
+  EXPECT_EQ(wp.transfer(1, 2, 10), 3);
+  EXPECT_EQ(wp.ways_of(1), 0);
+  EXPECT_EQ(wp.ways_of(2), 3);
+}
+
+TEST(WpUnit, TransferFromNonOwnerMovesNothing) {
+  WpUnit wp(8, 0);
+  EXPECT_EQ(wp.transfer(7, 1, 4), 0);
+  EXPECT_EQ(wp.ways_of(0), 8);
+}
+
+TEST(WpUnit, MasksAreDisjointAndComplete) {
+  WpUnit wp(16, 0);
+  wp.transfer(0, 1, 5);
+  wp.transfer(0, 2, 3);
+  const mem::WayMask m0 = wp.mask_of(0), m1 = wp.mask_of(1), m2 = wp.mask_of(2);
+  EXPECT_EQ(m0 & m1, 0u);
+  EXPECT_EQ(m0 & m2, 0u);
+  EXPECT_EQ(m1 & m2, 0u);
+  EXPECT_EQ(m0 | m1 | m2, 0xFFFFu);
+}
+
+TEST(WpUnit, WaysConservedThroughTransfers) {
+  WpUnit wp(16, 0);
+  wp.transfer(0, 1, 6);
+  wp.transfer(1, 2, 2);
+  wp.transfer(0, 2, 1);
+  EXPECT_EQ(wp.ways_of(0) + wp.ways_of(1) + wp.ways_of(2), 16);
+}
+
+TEST(WpUnit, PartitionsListsDistinctOwners) {
+  WpUnit wp(16, 0);
+  wp.transfer(0, 3, 4);
+  wp.transfer(0, 7, 4);
+  const auto parts = wp.partitions();
+  EXPECT_EQ(parts.size(), 3u);
+}
+
+TEST(WpUnit, AssignAllHandsOverBank) {
+  WpUnit wp(16, 2);
+  wp.transfer(2, 5, 4);
+  wp.assign_all(9);
+  EXPECT_EQ(wp.ways_of(9), 16);
+  EXPECT_EQ(wp.partitions(), std::vector<CoreId>{9});
+}
+
+TEST(WpUnit, SetOwnerDirect) {
+  WpUnit wp(4, kInvalidCore);
+  wp.set_owner(0, 1);
+  wp.set_owner(1, 1);
+  wp.set_owner(2, 2);
+  EXPECT_EQ(wp.ways_of(1), 2);
+  EXPECT_EQ(wp.ways_of(2), 1);
+  EXPECT_EQ(wp.owner(3), kInvalidCore);
+}
+
+TEST(WpUnit, StorageBitsFormula) {
+  EXPECT_EQ(WpUnit::storage_bits(16, 16), 256u);
+  EXPECT_EQ(WpUnit::storage_bits(64, 16), 1024u);
+}
+
+}  // namespace
+}  // namespace delta::core

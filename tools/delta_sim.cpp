@@ -1,0 +1,161 @@
+// delta_sim — command-line driver for arbitrary partitioning experiments.
+//
+//   delta_sim --mix w2 --scheme all                    # 16-core, all schemes
+//   delta_sim --cores 64 --mix w13 --scheme delta
+//   delta_sim --mix w6 --scheme delta --epochs 600 --warmup 100 --csv
+//   delta_sim --apps "mc,po,xa,na,ze,hm,ga,gr,li,de,om,bw,so,ca,pe,Ge"
+//   delta_sim --mix w2 --scheme ideal --central-ms 100  # Fig. 13 style
+//   delta_sim --list                                    # apps and mixes
+//
+// Prints per-application and workload-level results; `--csv` switches to a
+// machine-readable format for scripting sweeps.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/stats.hpp"
+#include "sim/runner.hpp"
+#include "workload/spec.hpp"
+
+namespace {
+
+using namespace delta;
+
+void list_everything() {
+  std::printf("applications (Table III):\n");
+  for (const auto& p : workload::spec_profiles())
+    std::printf("  %-4s %-12s class %-2s\n", p.short_name.c_str(), p.name.c_str(),
+                to_string(p.cls).c_str());
+  std::printf("\nmixes (Table IV):\n");
+  for (const auto& m : workload::table4_mixes()) {
+    std::printf("  %-4s (%s): ", m.name.c_str(), m.composition.c_str());
+    for (const auto& a : m.apps) std::printf("%s ", a.c_str());
+    std::printf("\n");
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  return out;
+}
+
+void print_result(const sim::MixResult& r, const sim::MixResult* snuca_ref, bool csv) {
+  if (csv) {
+    for (const auto& a : r.apps)
+      std::printf("%s,%s,%d,%s,%.4f,%.4f,%.2f,%.2f,%.1f\n", r.mix.c_str(),
+                  r.scheme.c_str(), a.core, a.app.c_str(), a.ipc, a.miss_rate,
+                  a.avg_latency, a.avg_hops, a.avg_ways);
+    return;
+  }
+  std::printf("\n== %s on %s ==\n", r.scheme.c_str(), r.mix.c_str());
+  TextTable t({"core", "app", "ipc", "mpki", "miss%", "lat", "hops", "ways"});
+  for (const auto& a : r.apps)
+    t.add_row({std::to_string(a.core), a.app, fmt(a.ipc, 3), fmt(a.mpki, 1),
+               fmt(100 * a.miss_rate, 1), fmt(a.avg_latency, 1), fmt(a.avg_hops, 2),
+               fmt(a.avg_ways, 1)});
+  std::printf("%s", t.str().c_str());
+  std::printf("workload geomean IPC %.4f", r.geomean_ipc);
+  if (snuca_ref != nullptr && snuca_ref != &r)
+    std::printf("  (%.3fx vs snuca)", sim::speedup(r, *snuca_ref));
+  std::printf("; control msgs %llu, demand msgs %llu, invalidated lines %llu\n",
+              static_cast<unsigned long long>(r.traffic.control_messages()),
+              static_cast<unsigned long long>(r.traffic.demand_messages()),
+              static_cast<unsigned long long>(r.invalidated_lines));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::vector<std::string> known = {
+      "mix",  "apps",   "scheme", "cores",      "epochs", "warmup",
+      "seed", "csv",    "list",   "central-ms", "help",
+  };
+  if (!args.unknown_flags(known).empty() || args.has("help")) {
+    for (const auto& f : args.unknown_flags(known))
+      std::fprintf(stderr, "unknown flag: --%s\n", f.c_str());
+    std::fprintf(stderr,
+                 "usage: delta_sim [--mix wN | --apps a,b,...] [--scheme "
+                 "snuca|private|ideal|delta|all]\n"
+                 "                 [--cores 16|64] [--epochs N] [--warmup N] "
+                 "[--seed S] [--central-ms M] [--csv] [--list]\n");
+    return args.has("help") ? 0 : 1;
+  }
+  if (args.has("list")) {
+    list_everything();
+    return 0;
+  }
+
+  sim::MachineConfig cfg =
+      args.get_int("cores", 16) == 64 ? sim::config64() : sim::config16();
+  cfg.measure_epochs = static_cast<int>(args.get_int("epochs", cfg.measure_epochs));
+  cfg.warmup_epochs = static_cast<int>(args.get_int("warmup", cfg.warmup_epochs));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+
+  workload::Mix mix;
+  if (args.has("apps")) {
+    mix.name = "custom";
+    mix.apps = split_csv(args.get("apps"));
+    if (static_cast<int>(mix.apps.size()) != cfg.cores) {
+      std::fprintf(stderr, "--apps needs exactly %d entries\n", cfg.cores);
+      return 1;
+    }
+    for (const auto& a : mix.apps) {
+      if (!workload::has_spec_profile(a) && a != "idle") {
+        std::fprintf(stderr, "unknown app '%s' (try --list)\n", a.c_str());
+        return 1;
+      }
+    }
+  } else {
+    try {
+      mix = sim::mix_for_config(cfg, args.get("mix", "w2"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s (try --list)\n", e.what());
+      return 1;
+    }
+  }
+
+  sim::SchemeOptions opts;
+  opts.central_interval_epochs = static_cast<int>(args.get_double("central-ms", 1.0) * 10);
+
+  const std::string scheme = args.get("scheme", "all");
+  const bool csv = args.has("csv");
+  if (csv)
+    std::printf("mix,scheme,core,app,ipc,miss_rate,avg_latency,avg_hops,avg_ways\n");
+
+  if (scheme == "all") {
+    const sim::SchemeComparison c = sim::compare_schemes(cfg, mix);
+    print_result(c.snuca, &c.snuca, csv);
+    print_result(c.private_llc, &c.snuca, csv);
+    print_result(c.ideal, &c.snuca, csv);
+    print_result(c.delta, &c.snuca, csv);
+    if (!csv) {
+      std::printf("\nANTT/STP vs private: ideal %.3f/%.2f, delta %.3f/%.2f\n",
+                  sim::antt(c.ideal, c.private_llc), sim::stp(c.ideal, c.private_llc),
+                  sim::antt(c.delta, c.private_llc), sim::stp(c.delta, c.private_llc));
+    }
+    return 0;
+  }
+
+  sim::SchemeKind kind;
+  if (scheme == "snuca") {
+    kind = sim::SchemeKind::kSnuca;
+  } else if (scheme == "private") {
+    kind = sim::SchemeKind::kPrivate;
+  } else if (scheme == "ideal") {
+    kind = sim::SchemeKind::kIdealCentralized;
+  } else if (scheme == "delta") {
+    kind = sim::SchemeKind::kDelta;
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
+    return 1;
+  }
+  const sim::MixResult r = sim::run_mix(cfg, mix, kind, opts);
+  print_result(r, nullptr, csv);
+  return 0;
+}
