@@ -6,7 +6,7 @@ function(delta_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
     delta_sim delta_core delta_alloc delta_workload delta_umon delta_noc
-    delta_mem delta_common)
+    delta_mem delta_obs delta_common)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -28,6 +28,7 @@ delta_bench(ablation_params)
 delta_bench(ablation_cbt_bits)
 delta_bench(ext_mt_integrated)
 delta_bench(ext_underutilized)
+delta_bench(micro_obs_overhead)
 
 add_executable(micro_components ${CMAKE_SOURCE_DIR}/bench/micro_components.cpp)
 target_link_libraries(micro_components PRIVATE

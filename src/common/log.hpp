@@ -1,10 +1,29 @@
 // Minimal leveled logging.  Off by default so simulation hot loops stay
 // clean; enable with Logger::set_level(LogLevel::kDebug) in tools/examples.
+//
+// Two hardening properties:
+//  - printf-format checking: Logger::log() (and the DELTA_LOG_* macros) are
+//    compile-time checked against their arguments on GCC/Clang via
+//    DELTA_PRINTF_FORMAT; other compilers degrade to unchecked.
+//  - tear-free output: each record (prefix + message + newline) is composed
+//    in one buffer and handed to stderr in a single fwrite, so interleaved
+//    records from concurrent benches cannot shear mid-line.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <string>
-#include <utility>
+
+/// Marks a function as printf-like for compile-time format checking.
+/// `fmt_idx` is the 1-based index of the format-string parameter and
+/// `first_arg` that of the first variadic argument (count `this` for
+/// non-static members).  No-op on compilers without the GNU attribute.
+#if defined(__GNUC__) || defined(__clang__)
+#define DELTA_PRINTF_FORMAT(fmt_idx, first_arg) \
+  __attribute__((format(printf, fmt_idx, first_arg)))
+#else
+#define DELTA_PRINTF_FORMAT(fmt_idx, first_arg)
+#endif
 
 namespace delta {
 
@@ -16,13 +35,11 @@ class Logger {
   static LogLevel level() { return level_; }
   static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) <= static_cast<int>(level_); }
 
-  template <typename... Args>
-  static void log(LogLevel lvl, const char* fmt, Args&&... args) {
-    if (!enabled(lvl)) return;
-    std::fprintf(stderr, "[%s] ", name(lvl));
-    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
-    std::fputc('\n', stderr);
-  }
+  static void log(LogLevel lvl, const char* fmt, ...) DELTA_PRINTF_FORMAT(2, 3);
+
+  /// Composes one complete record ("[level] message\n"); exposed for tests.
+  /// Messages longer than an internal 1 KiB buffer are truncated with "...".
+  static std::string vformat(LogLevel lvl, const char* fmt, std::va_list ap);
 
  private:
   static const char* name(LogLevel lvl) {
@@ -36,6 +53,29 @@ class Logger {
   }
   static inline LogLevel level_ = LogLevel::kWarn;
 };
+
+inline std::string Logger::vformat(LogLevel lvl, const char* fmt, std::va_list ap) {
+  char buf[1024];
+  int n = std::snprintf(buf, sizeof buf, "[%s] ", name(lvl));
+  if (n < 0) n = 0;
+  const int body = std::vsnprintf(buf + n, sizeof buf - static_cast<std::size_t>(n) - 1,
+                                  fmt, ap);
+  std::string out(buf);
+  if (body >= static_cast<int>(sizeof buf) - n - 1) out += "...";
+  out += '\n';
+  return out;
+}
+
+inline void Logger::log(LogLevel lvl, const char* fmt, ...) {
+  if (!enabled(lvl)) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  const std::string rec = vformat(lvl, fmt, ap);
+  va_end(ap);
+  // One write per record: stderr is unbuffered, so a single fwrite keeps
+  // concurrent writers' records whole instead of interleaving fragments.
+  std::fwrite(rec.data(), 1, rec.size(), stderr);
+}
 
 #define DELTA_LOG_INFO(...) ::delta::Logger::log(::delta::LogLevel::kInfo, __VA_ARGS__)
 #define DELTA_LOG_WARN(...) ::delta::Logger::log(::delta::LogLevel::kWarn, __VA_ARGS__)

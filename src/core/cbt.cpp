@@ -4,13 +4,16 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/recorder.hpp"
+
 namespace delta::core {
 
 Cbt::Cbt(BankId home_bank, bool reverse_bits) : reverse_bits_(reverse_bits) {
   rebuild({{home_bank, 1}});
 }
 
-void Cbt::rebuild(const std::vector<std::pair<BankId, int>>& bank_ways) {
+void Cbt::rebuild(const std::vector<std::pair<BankId, int>>& bank_ways,
+                  obs::EventRecorder* rec, std::uint64_t epoch, CoreId owner) {
   assert(!bank_ways.empty());
   int total = 0;
   for (const auto& [bank, ways] : bank_ways) {
@@ -67,6 +70,11 @@ void Cbt::rebuild(const std::vector<std::pair<BankId, int>>& bank_ways) {
     cursor += chunks[i];
   }
   assert(cursor == mem::kNumChunks);
+
+  if (rec != nullptr)
+    rec->record(obs::EventKind::kCbtRebuild, epoch, owner,
+                /*bank=*/bank_ways.front().first, /*other=*/-1,
+                /*count=*/ranges_.size());
 }
 
 std::vector<int> Cbt::changed_chunks(const Cbt& prev) const {

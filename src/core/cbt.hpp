@@ -16,6 +16,10 @@
 #include "common/types.hpp"
 #include "mem/address.hpp"
 
+namespace delta::obs {
+class EventRecorder;
+}
+
 namespace delta::core {
 
 struct CbtRange {
@@ -33,8 +37,11 @@ class Cbt {
   /// Rebuilds ranges from (bank, ways) pairs in *stable acquisition order*
   /// (home bank first).  Range lengths are proportional to way counts; the
   /// rounding remainder goes to the largest allocation.  Total ways must
-  /// be > 0.
-  void rebuild(const std::vector<std::pair<BankId, int>>& bank_ways);
+  /// be > 0.  When `rec` is non-null a kCbtRebuild event is appended with
+  /// `owner`/`epoch` context and the resulting range count.
+  void rebuild(const std::vector<std::pair<BankId, int>>& bank_ways,
+               obs::EventRecorder* rec = nullptr, std::uint64_t epoch = 0,
+               CoreId owner = kInvalidCore);
 
   BankId bank_for_chunk(int chunk) const {
     return chunk_map_[static_cast<std::size_t>(chunk)];

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/recorder.hpp"
+
 namespace delta::core {
 
 DeltaController::DeltaController(const noc::Mesh& mesh, DeltaParams params,
@@ -76,6 +78,7 @@ void DeltaController::snapshot_pain_gain(std::span<const TileInput> inputs) {
     }
     s.pg = compute_pain_gain(*in.umon, total_ways(c), ways_outside_home(c),
                              params_.gain_ways, params_.pain_ways, s.mlp);
+    record_pain_gain(rec_, obs_epoch_, c, s.pg);
     stats_.alu_ops += 2;  // One gain + one pain evaluation per tile.
   }
 }
@@ -88,6 +91,7 @@ double DeltaController::gain_for_bank(CoreId core, BankId bank) const {
 TickResult DeltaController::tick(std::uint64_t epoch, std::span<const TileInput> inputs,
                                  noc::TrafficStats* traffic) {
   assert(static_cast<int>(inputs.size()) == mesh_.tiles());
+  obs_epoch_ = epoch;
   TickResult result;
   const bool do_intra =
       params_.intra_interval_epochs > 0 &&
@@ -139,11 +143,19 @@ void DeltaController::inter_bank(std::span<const TileInput> inputs, TickResult& 
     ++result.challenges_sent;
     count_msg(traffic, noc::MsgType::kChallenge);
     count_msg(traffic, noc::MsgType::kChallengeResponse);
+    if (rec_ != nullptr)
+      rec_->record(obs::EventKind::kChallengeSent, obs_epoch_, challenger, target,
+                   /*other=*/-1, /*count=*/0, challenger_gain);
 
     const Snapshot& ts = snap_[static_cast<std::size_t>(target)];
     // Sec. II-E: threads of the same process do not compete for capacity.
     // Process id 0 means "unspecified" (multi-programmed default).
-    if (ts.active && ts.process_id != 0 && ts.process_id == cs.process_id) continue;
+    if (ts.active && ts.process_id != 0 && ts.process_id == cs.process_id) {
+      if (rec_ != nullptr)
+        rec_->record(obs::EventKind::kChallengeLost, obs_epoch_, challenger,
+                     target, /*other=*/-1, /*count=*/0, challenger_gain);
+      continue;
+    }
 
     // Idle-bank fast path: an unused home bank is handed over wholesale.
     if (!ts.active && bank.ways_of(static_cast<CoreId>(target)) > 0) {
@@ -152,6 +164,11 @@ void DeltaController::inter_bank(std::span<const TileInput> inputs, TickResult& 
       if (grabbed > 0) {
         ++result.challenges_won;
         ++stats_.idle_grabs;
+        count_msg(traffic, noc::MsgType::kHandover);
+        if (rec_ != nullptr)
+          rec_->record(obs::EventKind::kBankHandover, obs_epoch_, challenger,
+                       target, /*other=*/target, static_cast<std::uint64_t>(grabbed),
+                       challenger_gain);
         auto& acq = acq_order_[static_cast<std::size_t>(challenger)];
         if (std::find(acq.begin(), acq.end(), target) == acq.end())
           acq.push_back(target);
@@ -181,7 +198,13 @@ void DeltaController::inter_bank(std::span<const TileInput> inputs, TickResult& 
       }
     }
 
-    if (loser == kInvalidCore || loser_value >= challenger_gain) continue;
+    if (loser == kInvalidCore || loser_value >= challenger_gain) {
+      if (rec_ != nullptr)
+        rec_->record(obs::EventKind::kChallengeLost, obs_epoch_, challenger,
+                     target, loser, /*count=*/0, challenger_gain,
+                     loser == kInvalidCore ? 0.0 : loser_value);
+      continue;
+    }
 
     // Success: carve interDeltaWays out of the loser (home keeps its floor).
     int give = params_.inter_delta_ways;
@@ -189,12 +212,25 @@ void DeltaController::inter_bank(std::span<const TileInput> inputs, TickResult& 
       give = std::min(give, bank.ways_of(loser) - params_.min_ways);
     give = std::min(give, bank.ways_of(loser));
     give = std::min(give, params_.max_ways_per_app - cur_total);
-    if (give <= 0) continue;
+    if (give <= 0) {
+      if (rec_ != nullptr)
+        rec_->record(obs::EventKind::kChallengeLost, obs_epoch_, challenger,
+                     target, loser, /*count=*/0, challenger_gain, loser_value);
+      continue;
+    }
 
     const int moved = bank.transfer(loser, challenger, give);
     assert(moved == give);
     (void)moved;
     ++result.challenges_won;
+    if (rec_ != nullptr) {
+      rec_->record(obs::EventKind::kChallengeWon, obs_epoch_, challenger, target,
+                   loser, static_cast<std::uint64_t>(give), challenger_gain,
+                   loser_value);
+      rec_->record(obs::EventKind::kWayTransfer, obs_epoch_, challenger, target,
+                   loser, static_cast<std::uint64_t>(give), challenger_gain,
+                   loser_value);
+    }
 
     auto& acq = acq_order_[static_cast<std::size_t>(challenger)];
     const bool new_bank = std::find(acq.begin(), acq.end(), target) == acq.end();
@@ -252,6 +288,9 @@ void DeltaController::intra_bank(std::span<const TileInput> inputs, TickResult& 
 
     bank.transfer(loser, winner, give);
     ++result.intra_transfers;
+    if (rec_ != nullptr)
+      rec_->record(obs::EventKind::kWayTransfer, obs_epoch_, winner, b, loser,
+                   static_cast<std::uint64_t>(give), best, worst);
     // Alg. 2 line 6: report the new allocations back to both home tiles.
     count_msg(traffic, noc::MsgType::kIntraFeedback, 2);
 
@@ -276,16 +315,22 @@ void DeltaController::rebuild_cbt(CoreId core, TickResult& result,
 
   Cbt& cbt = cbts_[static_cast<std::size_t>(core)];
   const Cbt prev = cbt;
-  cbt.rebuild(bank_ways);
+  cbt.rebuild(bank_ways, rec_, obs_epoch_, core);
   ++stats_.cbt_rebuilds;
 
+  // `result.remaps` accumulates across all rebuilds of a tick; account only
+  // the chunks this rebuild moved.
+  const std::size_t before = result.remaps.size();
   for (int chunk : cbt.changed_chunks(prev)) {
     result.remaps.push_back(
         RemapChunk{core, chunk, prev.bank_for_chunk(chunk)});
   }
-  stats_.chunks_remapped += static_cast<std::uint64_t>(result.remaps.size());
-  count_msg(traffic, noc::MsgType::kInvalidation,
-            result.remaps.empty() ? 0 : 1);
+  const std::size_t moved = result.remaps.size() - before;
+  stats_.chunks_remapped += static_cast<std::uint64_t>(moved);
+  if (rec_ != nullptr && moved > 0)
+    rec_->record(obs::EventKind::kCbtRemap, obs_epoch_, core, /*bank=*/-1,
+                 /*other=*/-1, static_cast<std::uint64_t>(moved));
+  count_msg(traffic, noc::MsgType::kInvalidation, moved == 0 ? 0 : 1);
 }
 
 void DeltaController::retreat(CoreId core, BankId bank, TickResult& result,
@@ -294,6 +339,8 @@ void DeltaController::retreat(CoreId core, BankId bank, TickResult& result,
   auto it = std::find(acq.begin(), acq.end(), bank);
   if (it != acq.end()) acq.erase(it);
   ++result.retreats;
+  if (rec_ != nullptr)
+    rec_->record(obs::EventKind::kRetreat, obs_epoch_, core, bank);
   rebuild_cbt(core, result, traffic);
 }
 

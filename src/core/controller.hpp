@@ -25,6 +25,10 @@
 #include "noc/traffic.hpp"
 #include "umon/umon.hpp"
 
+namespace delta::obs {
+class EventRecorder;
+}
+
 namespace delta::core {
 
 /// Per-core monitoring snapshot handed to the controller each epoch.
@@ -75,6 +79,11 @@ class DeltaController {
   /// `inter_interval_epochs`.  `inputs` has one entry per tile.
   TickResult tick(std::uint64_t epoch, std::span<const TileInput> inputs,
                   noc::TrafficStats* traffic = nullptr);
+
+  /// Attaches a policy-event trace sink (null or disabled == no tracing).
+  /// Events are emitted at the decision sites: challenges with the compared
+  /// gain/pain values, way transfers, retreats, CBT rebuilds and remaps.
+  void set_recorder(obs::EventRecorder* rec) { rec_ = rec; }
 
   // ---- Enforcement queries used on every LLC access. ----
   BankId bank_for(CoreId core, BlockAddr block) const {
@@ -140,6 +149,8 @@ class DeltaController {
   std::vector<std::size_t> cand_cursor_;
   std::vector<Snapshot> snap_;
   DeltaStats stats_;
+  obs::EventRecorder* rec_ = nullptr;  ///< Optional event trace sink.
+  std::uint64_t obs_epoch_ = 0;        ///< Epoch stamped onto emitted events.
 };
 
 }  // namespace delta::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/recorder.hpp"
+
 namespace delta::core {
 
 double window_mpka(const umon::Umon& umon, int lo_ways, int hi_ways) {
@@ -21,6 +23,13 @@ PainGain compute_pain_gain(const umon::Umon& umon, int cur_ways, int ways_outsid
   pg.raw_gain = a_gain / (static_cast<double>(ways_outside_home) + 1.0) / mlp;
   pg.pain = a_pain / mlp;
   return pg;
+}
+
+void record_pain_gain(obs::EventRecorder* rec, std::uint64_t epoch, CoreId core,
+                      const PainGain& pg) {
+  if (rec == nullptr) return;
+  rec->record(obs::EventKind::kPainGainSample, epoch, core, /*bank=*/-1,
+              /*other=*/-1, /*count=*/0, pg.raw_gain, pg.pain);
 }
 
 }  // namespace delta::core

@@ -13,7 +13,14 @@
 // application's absolute access rate.
 #pragma once
 
+#include <cstdint>
+
+#include "common/types.hpp"
 #include "umon/umon.hpp"
+
+namespace delta::obs {
+class EventRecorder;
+}
 
 namespace delta::core {
 
@@ -30,6 +37,12 @@ double window_mpka(const umon::Umon& umon, int lo_ways, int hi_ways);
 /// which `ways_outside_home` are in remote banks.
 PainGain compute_pain_gain(const umon::Umon& umon, int cur_ways, int ways_outside_home,
                            int gain_ways, int pain_ways, double mlp);
+
+/// Observability hook: appends a kPainGainSample event (a = raw gain,
+/// b = pain) for `core` to `rec`.  Null/disabled recorder is a no-op, so
+/// callers can emit unconditionally from the snapshot loop.
+void record_pain_gain(obs::EventRecorder* rec, std::uint64_t epoch, CoreId core,
+                      const PainGain& pg);
 
 /// Distance scaling of Eq. 1: gain = raw_gain / (hop_distance + 1).
 inline double scale_gain(double raw_gain, int hop_distance) {

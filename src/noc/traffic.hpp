@@ -15,6 +15,7 @@ enum class MsgType : int {
   kChallenge,         ///< DELTA inter-bank challenge (Alg. 1 line 7).
   kChallengeResponse, ///< DELTA success/failure response (lines 13/15).
   kIntraFeedback,     ///< Intra-bank win/lose report to home tiles (Alg. 2 line 6).
+  kHandover,          ///< Idle-bank wholesale handover notification.
   kInvalidation,      ///< Bulk-invalidation sweep commands.
   kCentralCollect,    ///< Centralized scheme: miss-curve collection to hub.
   kCentralBroadcast,  ///< Centralized scheme: allocation broadcast from hub.
@@ -30,6 +31,7 @@ constexpr std::string_view msg_type_name(MsgType t) {
     case MsgType::kChallenge: return "challenge";
     case MsgType::kChallengeResponse: return "challenge_resp";
     case MsgType::kIntraFeedback: return "intra_feedback";
+    case MsgType::kHandover: return "handover";
     case MsgType::kInvalidation: return "invalidation";
     case MsgType::kCentralCollect: return "central_collect";
     case MsgType::kCentralBroadcast: return "central_broadcast";
@@ -48,8 +50,8 @@ class TrafficStats {
   /// Messages belonging to the partitioning control plane.
   std::uint64_t control_messages() const {
     return total(MsgType::kChallenge) + total(MsgType::kChallengeResponse) +
-           total(MsgType::kIntraFeedback) + total(MsgType::kCentralCollect) +
-           total(MsgType::kCentralBroadcast);
+           total(MsgType::kIntraFeedback) + total(MsgType::kHandover) +
+           total(MsgType::kCentralCollect) + total(MsgType::kCentralBroadcast);
   }
 
   /// Demand traffic (LLC requests/responses and memory traffic).

@@ -1,0 +1,66 @@
+// Policy-event trace records (observability layer, docs/observability.md).
+//
+// An Event is a fixed-size POD: recording one is a bounds check plus a
+// 40-byte append into a pre-sized buffer, cheap enough to leave compiled
+// into the reconfiguration paths permanently.  Field meaning is
+// kind-specific (see the table in docs/observability.md); `a`/`b` carry the
+// policy values that drove the decision (e.g. challenger gain vs defender
+// pain) so Fig. 13-style reconfiguration dynamics can be reconstructed
+// offline.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace delta::obs {
+
+enum class EventKind : std::uint8_t {
+  kChallengeSent = 0,   ///< Inter-bank challenge issued (a = challenger gain).
+  kChallengeWon,        ///< Challenge succeeded (a = gain, b = loser's defence).
+  kChallengeLost,       ///< Challenge failed (a = gain, b = winning defence).
+  kBankHandover,        ///< Idle home bank handed over wholesale (count = ways).
+  kWayTransfer,         ///< Ways moved between partitions (count = ways).
+  kRetreat,             ///< Guest evicted from a bank, CBT rebuilt.
+  kCbtRebuild,          ///< A core's CBT recomputed (count = resulting ranges).
+  kCbtRemap,            ///< Chunks moved banks by a rebuild (count = chunks).
+  kBulkInvalidation,    ///< Sweep dropped lines (count = lines, a = chunks).
+  kPainGainSample,      ///< Per-tile heuristic snapshot (a = raw gain, b = pain).
+  kCentralReconfig,     ///< Centralized scheme recomputed allocations.
+  kCount
+};
+
+constexpr std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kChallengeSent: return "challenge_sent";
+    case EventKind::kChallengeWon: return "challenge_won";
+    case EventKind::kChallengeLost: return "challenge_lost";
+    case EventKind::kBankHandover: return "bank_handover";
+    case EventKind::kWayTransfer: return "way_transfer";
+    case EventKind::kRetreat: return "retreat";
+    case EventKind::kCbtRebuild: return "cbt_rebuild";
+    case EventKind::kCbtRemap: return "cbt_remap";
+    case EventKind::kBulkInvalidation: return "bulk_invalidation";
+    case EventKind::kPainGainSample: return "pain_gain";
+    case EventKind::kCentralReconfig: return "central_reconfig";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+inline constexpr int kNumEventKinds = static_cast<int>(EventKind::kCount);
+
+struct Event {
+  std::uint64_t epoch = 0;    ///< Simulator epoch (1 epoch = 0.1 ms).
+  EventKind kind = EventKind::kCount;
+  std::uint8_t run = 0;       ///< Run index (one per scheme in `--scheme all`).
+  std::int16_t core = -1;     ///< Acting core/tile (-1 == chip-level).
+  std::int16_t bank = -1;     ///< Subject bank (-1 == n/a).
+  std::int16_t other = -1;    ///< Peer: losing core, previous bank, ... (-1 == n/a).
+  std::uint32_t count = 0;    ///< Kind-specific magnitude (ways, lines, chunks).
+  double a = 0.0;             ///< Kind-specific value (gains, pains).
+  double b = 0.0;
+};
+
+static_assert(sizeof(Event) <= 40, "events are appended on policy paths; keep them compact");
+
+}  // namespace delta::obs

@@ -1,0 +1,79 @@
+// Observer: the run-wide observability context handed to the simulator.
+//
+// Holds the event recorder and epoch sampler plus the list of runs (one per
+// scheme execution) so a single trace/CSV can span a `--scheme all`
+// comparison.  The level gates what gets collected:
+//
+//   kOff      — attached but inert; every hook is a cheap early-out.
+//   kSummary  — run names only (enough for the end-of-run JSON summary).
+//   kTimeline — + per-epoch core/MCU/chip samples.
+//   kFull     — + the policy event trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
+
+namespace delta::obs {
+
+enum class ObsLevel : int { kOff = 0, kSummary = 1, kTimeline = 2, kFull = 3 };
+
+constexpr std::string_view to_string(ObsLevel l) {
+  switch (l) {
+    case ObsLevel::kOff: return "off";
+    case ObsLevel::kSummary: return "summary";
+    case ObsLevel::kTimeline: return "timeline";
+    case ObsLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+class Observer {
+ public:
+  explicit Observer(ObsLevel level,
+                    std::size_t event_capacity = EventRecorder::kDefaultCapacity)
+      : level_(level), events_(event_capacity) {
+    events_.set_enabled(events_enabled());
+  }
+
+  ObsLevel level() const { return level_; }
+  bool events_enabled() const { return level_ >= ObsLevel::kFull; }
+  bool timeline_enabled() const { return level_ >= ObsLevel::kTimeline; }
+
+  /// Starts a new run (e.g. one scheme of a comparison); subsequent events
+  /// and samples are stamped with the returned run index.
+  std::uint32_t begin_run(std::string name) {
+    run_names_.push_back(std::move(name));
+    const auto run = static_cast<std::uint32_t>(run_names_.size() - 1);
+    events_.set_run(static_cast<std::uint8_t>(run));
+    timeline_.set_run(run);
+    return run;
+  }
+
+  const std::vector<std::string>& run_names() const { return run_names_; }
+  std::string_view run_name(std::uint32_t run) const {
+    return run < run_names_.size() ? std::string_view(run_names_[run])
+                                   : std::string_view("run");
+  }
+
+  EventRecorder& events() { return events_; }
+  const EventRecorder& events() const { return events_; }
+  TimelineSampler& timeline() { return timeline_; }
+  const TimelineSampler& timeline() const { return timeline_; }
+
+  /// Recorder pointer for emission sites: null when events are off, so the
+  /// per-event cost of a disabled trace is one pointer test.
+  EventRecorder* event_sink() { return events_enabled() ? &events_ : nullptr; }
+
+ private:
+  ObsLevel level_;
+  EventRecorder events_;
+  TimelineSampler timeline_;
+  std::vector<std::string> run_names_;
+};
+
+}  // namespace delta::obs

@@ -1,0 +1,80 @@
+// Pre-sized append buffer for policy events.
+//
+// The recorder is wired into the controller/chip as a nullable pointer: a
+// null pointer (or `enabled() == false`) makes every emission site a single
+// predictable branch, so the instrumentation can stay compiled in.  On
+// overflow the newest events are dropped (the head of a run is the
+// interesting part — that is where partitions form) and the drop count is
+// reported by the exporters so truncation is never silent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace delta::obs {
+
+class EventRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;  // ~10 MB.
+
+  explicit EventRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {
+    events_.reserve(capacity_);
+  }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Run index stamped onto subsequent events (one run per scheme).
+  void set_run(std::uint8_t run) { run_ = run; }
+  std::uint8_t run() const { return run_; }
+
+  void record(EventKind kind, std::uint64_t epoch, int core, int bank = -1,
+              int other = -1, std::uint64_t count = 0, double a = 0.0,
+              double b = 0.0) {
+    if (!enabled_) return;
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    Event e;
+    e.epoch = epoch;
+    e.kind = kind;
+    e.run = run_;
+    e.core = static_cast<std::int16_t>(core);
+    e.bank = static_cast<std::int16_t>(bank);
+    e.other = static_cast<std::int16_t>(other);
+    e.count = static_cast<std::uint32_t>(count);
+    e.a = a;
+    e.b = b;
+    events_.push_back(e);
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  std::uint64_t count_of(EventKind k) const {
+    std::uint64_t n = 0;
+    for (const Event& e : events_) n += e.kind == k ? 1 : 0;
+    return n;
+  }
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<Event> events_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::uint8_t run_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace delta::obs

@@ -1,0 +1,78 @@
+// Epoch time-series sampler: one row per core, MCU and chip per measured
+// epoch.  Rows are plain records appended once per epoch (never on the
+// access path), sized for the usual 10^2..10^3-epoch runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace delta::obs {
+
+struct CoreSample {
+  std::uint32_t run = 0;
+  std::uint64_t epoch = 0;
+  std::int32_t core = -1;
+  std::string app;
+  double ipc = 0.0;             ///< This epoch's IPC estimate (1 / CPI).
+  std::int32_t ways = 0;        ///< Chip-wide allocated ways.
+  std::uint64_t accesses = 0;   ///< LLC accesses issued this epoch.
+  std::uint64_t misses = 0;     ///< LLC misses this epoch.
+  double avg_latency = 0.0;     ///< Mean LLC access latency this epoch (cycles).
+};
+
+struct McuSample {
+  std::uint32_t run = 0;
+  std::uint64_t epoch = 0;
+  std::int32_t mcu = -1;
+  std::uint64_t queue_delay = 0;  ///< Queueing delay charged next epoch (cycles).
+  double utilization = 0.0;       ///< Channel utilisation this epoch [0, 1].
+};
+
+/// Chip-level per-epoch NoC message deltas and invalidation volume.
+struct ChipSample {
+  std::uint32_t run = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t control_msgs = 0;
+  std::uint64_t demand_msgs = 0;
+  std::uint64_t invalidation_msgs = 0;
+  std::uint64_t invalidated_lines = 0;
+};
+
+class TimelineSampler {
+ public:
+  void set_run(std::uint32_t run) { run_ = run; }
+
+  void add_core(std::uint64_t epoch, int core, std::string app, double ipc, int ways,
+                std::uint64_t accesses, std::uint64_t misses, double avg_latency) {
+    cores_.push_back(CoreSample{run_, epoch, core, std::move(app), ipc, ways,
+                                accesses, misses, avg_latency});
+  }
+  void add_mcu(std::uint64_t epoch, int mcu, std::uint64_t queue_delay,
+               double utilization) {
+    mcus_.push_back(McuSample{run_, epoch, mcu, queue_delay, utilization});
+  }
+  void add_chip(std::uint64_t epoch, std::uint64_t control, std::uint64_t demand,
+                std::uint64_t inval_msgs, std::uint64_t inval_lines) {
+    chips_.push_back(ChipSample{run_, epoch, control, demand, inval_msgs, inval_lines});
+  }
+
+  const std::vector<CoreSample>& cores() const { return cores_; }
+  const std::vector<McuSample>& mcus() const { return mcus_; }
+  const std::vector<ChipSample>& chips() const { return chips_; }
+  bool empty() const { return cores_.empty() && mcus_.empty() && chips_.empty(); }
+
+  void clear() {
+    cores_.clear();
+    mcus_.clear();
+    chips_.clear();
+  }
+
+ private:
+  std::vector<CoreSample> cores_;
+  std::vector<McuSample> mcus_;
+  std::vector<ChipSample> chips_;
+  std::uint32_t run_ = 0;
+};
+
+}  // namespace delta::obs

@@ -47,6 +47,8 @@ Chip::Chip(const MachineConfig& cfg, const std::vector<std::string>& apps,
     s.cpi_est = ph.cpi_base + ph.apki / 1000.0 * 100.0 / ph.mlp;
   }
   epoch_targets_.resize(static_cast<std::size_t>(cfg_.cores));
+  prev_hits_.resize(static_cast<std::size_t>(cfg_.cores));
+  prev_misses_.resize(static_cast<std::size_t>(cfg_.cores));
   scheme_->reset(*this);
 }
 
@@ -131,7 +133,37 @@ void Chip::run_one_epoch(bool measuring) {
 
   memsys_.end_epoch(cfg_.epoch_cycles);
   finish_epoch_accounting(measuring);
+  if (measuring && obs_ != nullptr && obs_->timeline_enabled()) sample_timeline();
   ++epoch_;
+}
+
+void Chip::sample_timeline() {
+  obs::TimelineSampler& tl = obs_->timeline();
+  for (int c = 0; c < cfg_.cores; ++c) {
+    AppSlot& s = slots_[static_cast<std::size_t>(c)];
+    if (!s.active) continue;
+    const std::uint64_t hits = s.llc_hits - prev_hits_[static_cast<std::size_t>(c)];
+    const std::uint64_t misses =
+        s.llc_misses - prev_misses_[static_cast<std::size_t>(c)];
+    prev_hits_[static_cast<std::size_t>(c)] = s.llc_hits;
+    prev_misses_[static_cast<std::size_t>(c)] = s.llc_misses;
+    const double avg_lat =
+        s.epoch_accesses > 0
+            ? s.epoch_lat_sum / static_cast<double>(s.epoch_accesses)
+            : 0.0;
+    tl.add_core(epoch_, c, s.app_name, s.cpi_est > 0.0 ? 1.0 / s.cpi_est : 0.0,
+                scheme_->allocated_ways(*this, c), hits + misses, misses, avg_lat);
+  }
+  for (int m = 0; m < memsys_.num_mcus(); ++m) {
+    const noc::MemoryController& mc = memsys_.mcu(m);
+    tl.add_mcu(epoch_, m, mc.queue_delay(), mc.utilization());
+  }
+  tl.add_chip(epoch_, traffic_.control_messages() - prev_traffic_.control_messages(),
+              traffic_.demand_messages() - prev_traffic_.demand_messages(),
+              traffic_.invalidation_messages() - prev_traffic_.invalidation_messages(),
+              invalidated_lines_ - prev_invalidated_lines_);
+  prev_traffic_ = traffic_;
+  prev_invalidated_lines_ = invalidated_lines_;
 }
 
 void Chip::finish_epoch_accounting(bool measuring) {
@@ -176,6 +208,9 @@ std::uint64_t Chip::invalidate_core_chunks(CoreId core, BankId old_bank,
       });
   traffic_.count(noc::MsgType::kInvalidation);
   invalidated_lines_ += n;
+  if (obs::EventRecorder* rec = event_sink())
+    rec->record(obs::EventKind::kBulkInvalidation, epoch_, core, old_bank,
+                /*other=*/-1, n, static_cast<double>(chunks.size()));
   return n;
 }
 
@@ -183,12 +218,15 @@ MixResult Chip::run(const std::string& mix_name) {
   run_epochs(cfg_.warmup_epochs, /*measuring=*/false);
   traffic_.reset();
   invalidated_lines_ = 0;
+  prev_traffic_.reset();
+  prev_invalidated_lines_ = 0;
   run_epochs(cfg_.measure_epochs, /*measuring=*/true);
 
   MixResult mr;
   mr.mix = mix_name;
   mr.scheme = std::string(scheme_->name());
   mr.traffic = traffic_;
+  mr.control = control_breakdown(traffic_);
   mr.invalidated_lines = invalidated_lines_;
   mr.measured_epochs = static_cast<std::uint64_t>(cfg_.measure_epochs);
   for (int c = 0; c < cfg_.cores; ++c) {

@@ -20,6 +20,7 @@
 #include "noc/mcu.hpp"
 #include "noc/mesh.hpp"
 #include "noc/traffic.hpp"
+#include "obs/observer.hpp"
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheme.hpp"
@@ -95,6 +96,17 @@ class Chip {
   std::uint64_t epoch() const { return epoch_; }
   std::uint64_t invalidated_lines() const { return invalidated_lines_; }
 
+  /// Attaches an observability context (may be null; the chip does not own
+  /// it).  Costs nothing on the access path: all hooks sit on epoch
+  /// boundaries and reconfiguration events, and schemes re-wire their event
+  /// sinks from here in begin_epoch().
+  void set_observer(obs::Observer* o) { obs_ = o; }
+  obs::Observer* observer() { return obs_; }
+  /// Event sink for emission sites: null when tracing is off.
+  obs::EventRecorder* event_sink() {
+    return obs_ != nullptr ? obs_->event_sink() : nullptr;
+  }
+
   /// Bulk-invalidation unit (Sec. II-C3): sweeps `old_bank` and drops
   /// `core`-owned lines whose CBT chunk is in `chunks`.  Returns the number
   /// of lines invalidated and counts one kInvalidation command message.
@@ -106,6 +118,8 @@ class Chip {
   /// Issues one access for core `c`; returns its latency in cycles.
   void do_access(CoreId c, bool measuring);
   void finish_epoch_accounting(bool measuring);
+  /// Appends this epoch's core/MCU/chip rows to the observer's timeline.
+  void sample_timeline();
 
   MachineConfig cfg_;
   noc::Mesh mesh_;
@@ -117,6 +131,13 @@ class Chip {
   std::uint64_t epoch_ = 0;
   std::uint64_t invalidated_lines_ = 0;
   std::vector<std::uint64_t> epoch_targets_;  // Scratch: accesses per core.
+
+  // Observability (nullable, not owned).  prev_* snapshots turn cumulative
+  // counters into per-epoch deltas for the timeline sampler.
+  obs::Observer* obs_ = nullptr;
+  noc::TrafficStats prev_traffic_;
+  std::uint64_t prev_invalidated_lines_ = 0;
+  std::vector<std::uint64_t> prev_hits_, prev_misses_;
 };
 
 }  // namespace delta::sim

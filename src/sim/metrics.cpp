@@ -7,6 +7,18 @@
 
 namespace delta::sim {
 
+ControlBreakdown control_breakdown(const noc::TrafficStats& t) {
+  ControlBreakdown b;
+  b.challenge = t.total(noc::MsgType::kChallenge) +
+                t.total(noc::MsgType::kChallengeResponse);
+  b.feedback = t.total(noc::MsgType::kIntraFeedback);
+  b.invalidation = t.total(noc::MsgType::kInvalidation);
+  b.handover = t.total(noc::MsgType::kHandover);
+  b.central = t.total(noc::MsgType::kCentralCollect) +
+              t.total(noc::MsgType::kCentralBroadcast);
+  return b;
+}
+
 double workload_geomean_ipc(const MixResult& r) {
   std::vector<double> ipcs;
   ipcs.reserve(r.apps.size());

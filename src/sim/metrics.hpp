@@ -25,12 +25,30 @@ struct AppResult {
   std::uint64_t llc_misses = 0;
 };
 
+/// Control-plane message totals split by purpose (Sec. IV-E2), so per-scheme
+/// overhead reports can attribute traffic instead of quoting one opaque sum.
+struct ControlBreakdown {
+  std::uint64_t challenge = 0;     ///< Challenges + responses.
+  std::uint64_t feedback = 0;      ///< Intra-bank allocation reports.
+  std::uint64_t invalidation = 0;  ///< Bulk-invalidation sweep commands.
+  std::uint64_t handover = 0;      ///< Idle-bank handover notifications.
+  std::uint64_t central = 0;       ///< Centralized collect + broadcast.
+
+  std::uint64_t total() const {
+    return challenge + feedback + invalidation + handover + central;
+  }
+};
+
+/// Extracts the control-plane breakdown from per-type traffic counters.
+ControlBreakdown control_breakdown(const noc::TrafficStats& t);
+
 struct MixResult {
   std::string mix;
   std::string scheme;
   std::vector<AppResult> apps;
   double geomean_ipc = 0.0;
   noc::TrafficStats traffic;
+  ControlBreakdown control;
   std::uint64_t invalidated_lines = 0;
   std::uint64_t measured_epochs = 0;
 

@@ -1,0 +1,31 @@
+// Result reporting for tools: human-readable text, machine-readable CSV
+// rows (header + rows kept in one place so the schema cannot drift apart),
+// and the end-of-run JSON summary consumed by scripting pipelines.
+// Formats are documented in docs/observability.md.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/observer.hpp"
+#include "sim/metrics.hpp"
+
+namespace delta::sim {
+
+/// Header row for per-app CSV output, without the trailing newline.
+std::string csv_header();
+
+/// One CSV line per app of `r`, matching csv_header()'s columns.
+std::string csv_rows(const MixResult& r);
+
+/// Human-readable per-app table + workload summary; `baseline` (may be
+/// null or `&r`) adds a speedup-vs-baseline annotation.
+std::string text_report(const MixResult& r, const MixResult* baseline);
+
+/// End-of-run JSON summary: every result with per-app metrics, per-type
+/// traffic counts and the control-message breakdown; plus recorder/timeline
+/// statistics when `obs` is non-null.
+std::string json_summary(std::span<const MixResult> results,
+                         const obs::Observer* obs = nullptr);
+
+}  // namespace delta::sim

@@ -6,19 +6,24 @@
 namespace delta::sim {
 
 MixResult run_mix(const MachineConfig& cfg, const workload::Mix& mix, SchemeKind kind,
-                  SchemeOptions opts) {
+                  SchemeOptions opts, obs::Observer* obs) {
   if (static_cast<int>(mix.apps.size()) != cfg.cores)
     throw std::invalid_argument("mix size does not match core count");
   Chip chip(cfg, mix.apps, make_scheme(kind, opts));
+  if (obs != nullptr) {
+    obs->begin_run(std::string(to_string(kind)));
+    chip.set_observer(obs);
+  }
   return chip.run(mix.name);
 }
 
-SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& mix) {
+SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& mix,
+                                 obs::Observer* obs) {
   SchemeComparison out;
-  out.snuca = run_mix(cfg, mix, SchemeKind::kSnuca);
-  out.private_llc = run_mix(cfg, mix, SchemeKind::kPrivate);
-  out.ideal = run_mix(cfg, mix, SchemeKind::kIdealCentralized);
-  out.delta = run_mix(cfg, mix, SchemeKind::kDelta);
+  out.snuca = run_mix(cfg, mix, SchemeKind::kSnuca, {}, obs);
+  out.private_llc = run_mix(cfg, mix, SchemeKind::kPrivate, {}, obs);
+  out.ideal = run_mix(cfg, mix, SchemeKind::kIdealCentralized, {}, obs);
+  out.delta = run_mix(cfg, mix, SchemeKind::kDelta, {}, obs);
   return out;
 }
 

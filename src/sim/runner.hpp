@@ -13,18 +13,22 @@
 
 namespace delta::sim {
 
-/// Runs `mix` (its app list must match cfg.cores) under `kind`.
+/// Runs `mix` (its app list must match cfg.cores) under `kind`.  A non-null
+/// `obs` collects the run's event trace / epoch timeline (a new observer
+/// run named after the scheme is begun first).
 MixResult run_mix(const MachineConfig& cfg, const workload::Mix& mix, SchemeKind kind,
-                  SchemeOptions opts = {});
+                  SchemeOptions opts = {}, obs::Observer* obs = nullptr);
 
-/// All four schemes on the same mix with identical workload streams.
+/// All four schemes on the same mix with identical workload streams; with
+/// an observer the runs land in one trace as four named runs.
 struct SchemeComparison {
   MixResult snuca;
   MixResult private_llc;
   MixResult ideal;
   MixResult delta;
 };
-SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& mix);
+SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& mix,
+                                 obs::Observer* obs = nullptr);
 
 /// Resolves a 16-core Table IV mix to the machine size (replicating 4x for
 /// 64 cores per Sec. III-B).

@@ -85,6 +85,9 @@ class DeltaScheme final : public Scheme {
   }
 
   void begin_epoch(Chip& chip, std::uint64_t epoch) override {
+    // Re-wire the trace sink every epoch: observers can be attached between
+    // construction and run(), and the pointer assignment is free.
+    ctrl_->set_recorder(chip.event_sink());
     std::vector<core::TileInput> inputs(static_cast<std::size_t>(chip.cores()));
     for (int c = 0; c < chip.cores(); ++c) {
       AppSlot& s = chip.slot(c);
@@ -192,7 +195,7 @@ class IdealCentralScheme final : public Scheme {
     if (opts_.central_interval_epochs <= 0 ||
         epoch % static_cast<std::uint64_t>(opts_.central_interval_epochs) != 0)
       return;
-    reconfigure(chip);
+    reconfigure(chip, epoch);
   }
 
   BankTarget map(const Chip& chip, CoreId core, BlockAddr block) const override {
@@ -212,7 +215,7 @@ class IdealCentralScheme final : public Scheme {
   }
 
  private:
-  void reconfigure(Chip& chip) {
+  void reconfigure(Chip& chip, std::uint64_t epoch) {
     const int n = chip.cores();
     // Collect fine-grained miss curves from all active cores (the
     // centralized hub sees every UMON: 2N messages).
@@ -226,6 +229,9 @@ class IdealCentralScheme final : public Scheme {
     }
     chip.traffic().count(noc::MsgType::kCentralCollect, static_cast<std::uint64_t>(n));
     chip.traffic().count(noc::MsgType::kCentralBroadcast, static_cast<std::uint64_t>(n));
+    if (obs::EventRecorder* rec = chip.event_sink())
+      rec->record(obs::EventKind::kCentralReconfig, epoch, /*core=*/-1,
+                  /*bank=*/-1, /*other=*/-1, active_core.size());
     if (active_core.empty()) return;
 
     req.total_ways = n * chip.config().ways_per_bank;
@@ -291,7 +297,7 @@ class IdealCentralScheme final : public Scheme {
       }
       if (!bank_set_changed) continue;
       const core::Cbt prev = cbt;
-      cbt.rebuild(bank_ways);
+      cbt.rebuild(bank_ways, chip.event_sink(), epoch, core);
 
       std::map<BankId, std::vector<int>> moved;
       for (int chunk : cbt.changed_chunks(prev))

@@ -1,0 +1,158 @@
+// Minimal recursive-descent JSON validity checker for tests.  Validates
+// syntax only (objects, arrays, strings with escapes, numbers, literals);
+// it does not build a document tree.  Kept dependency-free so the exporter
+// tests do not need a JSON library in the image.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace delta::test {
+
+class JsonChecker {
+ public:
+  /// Returns true iff `text` is exactly one valid JSON value (plus optional
+  /// surrounding whitespace).  On failure `error()` describes the problem.
+  bool check(std::string_view text) {
+    s_ = text;
+    pos_ = 0;
+    error_.clear();
+    if (!value()) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters after value");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  std::size_t error_pos() const { return pos_; }
+
+ private:
+  bool fail(const char* msg) {
+    if (error_.empty())
+      error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return fail("expected string");
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("dangling escape");
+        const char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_++])))
+              return fail("bad \\u escape");
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape character");
+        }
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    consume('-');
+    if (!consume('0')) {
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return fail("bad number");
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (consume('.')) {
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return fail("bad fraction");
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return fail("bad exponent");
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    consume('{');
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in object");
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    consume('[');
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Convenience wrapper: valid-JSON predicate with gtest-friendly semantics.
+inline bool is_valid_json(std::string_view text, std::string* why = nullptr) {
+  JsonChecker c;
+  const bool ok = c.check(text);
+  if (!ok && why != nullptr) *why = c.error();
+  return ok;
+}
+
+}  // namespace delta::test

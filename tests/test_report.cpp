@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/observer.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace delta::sim {
+namespace {
+
+MixResult tiny_result() {
+  MixResult r;
+  r.mix = "w2";
+  r.scheme = "delta";
+  r.geomean_ipc = 0.5;
+  r.measured_epochs = 40;
+  r.invalidated_lines = 123;
+  AppResult a;
+  a.core = 0;
+  a.app = "mc";
+  a.ipc = 0.25;
+  a.cpi = 4.0;
+  a.mpki = 20.0;
+  a.miss_rate = 0.75;
+  a.avg_latency = 200.0;
+  a.avg_hops = 0.5;
+  a.avg_ways = 18.0;
+  a.instructions = 100000;
+  a.llc_accesses = 5000;
+  a.llc_misses = 3750;
+  r.apps.push_back(a);
+  r.traffic.count(noc::MsgType::kChallenge, 10);
+  r.traffic.count(noc::MsgType::kChallengeResponse, 10);
+  r.traffic.count(noc::MsgType::kIntraFeedback, 30);
+  r.traffic.count(noc::MsgType::kHandover, 2);
+  r.traffic.count(noc::MsgType::kInvalidation, 4);
+  r.traffic.count(noc::MsgType::kLlcRequest, 5000);
+  r.control = control_breakdown(r.traffic);
+  return r;
+}
+
+std::size_t field_count(const std::string& line) {
+  std::size_t n = 1;
+  for (char c : line) n += c == ',' ? 1 : 0;
+  return n;
+}
+
+TEST(ControlBreakdown, SplitsTrafficByPurpose) {
+  const MixResult r = tiny_result();
+  EXPECT_EQ(r.control.challenge, 20u);
+  EXPECT_EQ(r.control.feedback, 30u);
+  EXPECT_EQ(r.control.invalidation, 4u);
+  EXPECT_EQ(r.control.handover, 2u);
+  EXPECT_EQ(r.control.central, 0u);
+  EXPECT_EQ(r.control.total(), 56u);
+}
+
+TEST(Report, CsvHeaderMatchesRowArity) {
+  const MixResult r = tiny_result();
+  const std::string header = csv_header();
+  const std::string rows = csv_rows(r);
+  EXPECT_EQ(header.substr(0, 11), "mix,scheme,");
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.back(), '\n');
+  const std::string first = rows.substr(0, rows.find('\n'));
+  EXPECT_EQ(field_count(first), field_count(header));
+  EXPECT_EQ(first.substr(0, 11), "w2,delta,0,");
+}
+
+TEST(Report, TextReportShowsControlBreakdown) {
+  const MixResult r = tiny_result();
+  const std::string text = text_report(r, nullptr);
+  EXPECT_NE(text.find("delta on w2"), std::string::npos);
+  EXPECT_NE(text.find("control msgs 56"), std::string::npos);
+  EXPECT_NE(text.find("challenge 20"), std::string::npos);
+  EXPECT_NE(text.find("feedback 30"), std::string::npos);
+  EXPECT_NE(text.find("invalidation 4"), std::string::npos);
+  EXPECT_NE(text.find("handover 2"), std::string::npos);
+  EXPECT_NE(text.find("invalidated lines 123"), std::string::npos);
+}
+
+TEST(Report, TextReportBaselineAnnotation) {
+  const MixResult r = tiny_result();
+  MixResult base = tiny_result();
+  base.scheme = "snuca";
+  base.geomean_ipc = 0.25;
+  const std::string text = text_report(r, &base);
+  EXPECT_NE(text.find("vs snuca"), std::string::npos);
+  // A result is never annotated against itself.
+  EXPECT_EQ(text_report(r, &r).find("vs delta"), std::string::npos);
+}
+
+TEST(Report, JsonSummaryIsValidAndComplete) {
+  const std::vector<MixResult> results = {tiny_result()};
+  const std::string json = json_summary(results);
+  std::string why;
+  ASSERT_TRUE(test::is_valid_json(json, &why)) << why << "\n" << json;
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"control\":{\"challenge\":20,\"feedback\":30,"
+                      "\"invalidation\":4,\"handover\":2,\"central\":0,"
+                      "\"total\":56}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"apps\":["), std::string::npos);
+  EXPECT_NE(json.find("\"traffic\":{"), std::string::npos);
+  // No observer attached — the observability block is absent.
+  EXPECT_EQ(json.find("\"observability\""), std::string::npos);
+}
+
+TEST(Report, JsonSummaryEscapesNames) {
+  MixResult r = tiny_result();
+  r.mix = "w\"2\\x";
+  const std::string json = json_summary(std::vector<MixResult>{r});
+  std::string why;
+  EXPECT_TRUE(test::is_valid_json(json, &why)) << why << "\n" << json;
+}
+
+TEST(Report, JsonSummaryIncludesObservabilityBlock) {
+  obs::Observer observer(obs::ObsLevel::kFull);
+  observer.begin_run("delta");
+  observer.events().record(obs::EventKind::kWayTransfer, 1, 0, 2, 3, 1);
+  observer.events().record(obs::EventKind::kWayTransfer, 2, 1, 2, 0, 1);
+  observer.timeline().add_chip(1, 5, 100, 0, 0);
+
+  const std::vector<MixResult> results = {tiny_result()};
+  const std::string json = json_summary(results, &observer);
+  std::string why;
+  ASSERT_TRUE(test::is_valid_json(json, &why)) << why << "\n" << json;
+  EXPECT_NE(json.find("\"observability\":{\"level\":\"full\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_recorded\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"way_transfer\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":[\"delta\"]"), std::string::npos);
+}
+
+TEST(Report, EmptyResultSpanStillValid) {
+  const std::string json = json_summary(std::vector<MixResult>{});
+  std::string why;
+  EXPECT_TRUE(test::is_valid_json(json, &why)) << why;
+}
+
+}  // namespace
+}  // namespace delta::sim

@@ -5,17 +5,24 @@
 //   delta_sim --mix w6 --scheme delta --epochs 600 --warmup 100 --csv
 //   delta_sim --apps "mc,po,xa,na,ze,hm,ga,gr,li,de,om,bw,so,ca,pe,Ge"
 //   delta_sim --mix w2 --scheme ideal --central-ms 100  # Fig. 13 style
+//   delta_sim --mix w2 --scheme delta --trace-out t.json  # Perfetto trace
+//   delta_sim --mix w2 --scheme all --timeline-csv tl.csv --json summary.json
 //   delta_sim --list                                    # apps and mixes
 //
 // Prints per-application and workload-level results; `--csv` switches to a
-// machine-readable format for scripting sweeps.
+// machine-readable format for scripting sweeps.  The observability flags
+// (--trace-out / --timeline-csv / --json / --obs-level) are documented in
+// docs/observability.md.
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/args.hpp"
-#include "common/stats.hpp"
+#include "obs/export.hpp"
+#include "obs/observer.hpp"
+#include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "workload/spec.hpp"
 
@@ -44,28 +51,38 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-void print_result(const sim::MixResult& r, const sim::MixResult* snuca_ref, bool csv) {
+void print_result(const sim::MixResult& r, const sim::MixResult* baseline, bool csv,
+                  std::FILE* text_out) {
   if (csv) {
-    for (const auto& a : r.apps)
-      std::printf("%s,%s,%d,%s,%.4f,%.4f,%.2f,%.2f,%.1f\n", r.mix.c_str(),
-                  r.scheme.c_str(), a.core, a.app.c_str(), a.ipc, a.miss_rate,
-                  a.avg_latency, a.avg_hops, a.avg_ways);
+    std::fputs(sim::csv_rows(r).c_str(), stdout);
     return;
   }
-  std::printf("\n== %s on %s ==\n", r.scheme.c_str(), r.mix.c_str());
-  TextTable t({"core", "app", "ipc", "mpki", "miss%", "lat", "hops", "ways"});
-  for (const auto& a : r.apps)
-    t.add_row({std::to_string(a.core), a.app, fmt(a.ipc, 3), fmt(a.mpki, 1),
-               fmt(100 * a.miss_rate, 1), fmt(a.avg_latency, 1), fmt(a.avg_hops, 2),
-               fmt(a.avg_ways, 1)});
-  std::printf("%s", t.str().c_str());
-  std::printf("workload geomean IPC %.4f", r.geomean_ipc);
-  if (snuca_ref != nullptr && snuca_ref != &r)
-    std::printf("  (%.3fx vs snuca)", sim::speedup(r, *snuca_ref));
-  std::printf("; control msgs %llu, demand msgs %llu, invalidated lines %llu\n",
-              static_cast<unsigned long long>(r.traffic.control_messages()),
-              static_cast<unsigned long long>(r.traffic.demand_messages()),
-              static_cast<unsigned long long>(r.invalidated_lines));
+  std::fputs(sim::text_report(r, baseline).c_str(), text_out);
+}
+
+/// Resolves the collection level: explicit --obs-level wins, otherwise the
+/// requested outputs imply the cheapest level that can feed them.
+obs::ObsLevel resolve_obs_level(const ArgParser& args) {
+  if (args.has("obs-level")) {
+    const std::string lvl = args.get("obs-level");
+    if (lvl == "off") return obs::ObsLevel::kOff;
+    if (lvl == "summary") return obs::ObsLevel::kSummary;
+    if (lvl == "timeline") return obs::ObsLevel::kTimeline;
+    if (lvl == "full") return obs::ObsLevel::kFull;
+    std::fprintf(stderr, "unknown --obs-level '%s' (off|summary|timeline|full)\n",
+                 lvl.c_str());
+    std::exit(1);
+  }
+  if (args.has("trace-out")) return obs::ObsLevel::kFull;
+  if (args.has("timeline-csv")) return obs::ObsLevel::kTimeline;
+  if (args.has("json")) return obs::ObsLevel::kSummary;
+  return obs::ObsLevel::kOff;
+}
+
+bool write_or_complain(const std::string& path, const std::string& content) {
+  if (obs::write_text_file(path, content)) return true;
+  std::perror(("writing " + path).c_str());
+  return false;
 }
 
 }  // namespace
@@ -73,8 +90,9 @@ void print_result(const sim::MixResult& r, const sim::MixResult* snuca_ref, bool
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const std::vector<std::string> known = {
-      "mix",  "apps",   "scheme", "cores",      "epochs", "warmup",
-      "seed", "csv",    "list",   "central-ms", "help",
+      "mix",        "apps",         "scheme", "cores",     "epochs",
+      "warmup",     "seed",         "csv",    "list",      "central-ms",
+      "trace-out",  "timeline-csv", "json",   "obs-level", "help",
   };
   if (!args.unknown_flags(known).empty() || args.has("help")) {
     for (const auto& f : args.unknown_flags(known))
@@ -83,7 +101,10 @@ int main(int argc, char** argv) {
                  "usage: delta_sim [--mix wN | --apps a,b,...] [--scheme "
                  "snuca|private|ideal|delta|all]\n"
                  "                 [--cores 16|64] [--epochs N] [--warmup N] "
-                 "[--seed S] [--central-ms M] [--csv] [--list]\n");
+                 "[--seed S] [--central-ms M] [--csv] [--list]\n"
+                 "                 [--trace-out trace.json] [--timeline-csv ts.csv]\n"
+                 "                 [--json [summary.json]] "
+                 "[--obs-level off|summary|timeline|full]\n");
     return args.has("help") ? 0 : 1;
   }
   if (args.has("list")) {
@@ -123,39 +144,66 @@ int main(int argc, char** argv) {
   sim::SchemeOptions opts;
   opts.central_interval_epochs = static_cast<int>(args.get_double("central-ms", 1.0) * 10);
 
+  const bool wants_obs = args.has("trace-out") || args.has("timeline-csv") ||
+                         args.has("json") || args.has("obs-level");
+  std::unique_ptr<obs::Observer> observer;
+  if (wants_obs) observer = std::make_unique<obs::Observer>(resolve_obs_level(args));
+
   const std::string scheme = args.get("scheme", "all");
   const bool csv = args.has("csv");
-  if (csv)
-    std::printf("mix,scheme,core,app,ipc,miss_rate,avg_latency,avg_hops,avg_ways\n");
+  // JSON on stdout must stay parseable, so the human report yields to stderr.
+  const bool json_stdout = args.has("json") && args.get("json").empty();
+  std::FILE* text_out = json_stdout ? stderr : stdout;
+  if (csv) std::printf("%s\n", sim::csv_header().c_str());
 
+  std::vector<sim::MixResult> results;
   if (scheme == "all") {
-    const sim::SchemeComparison c = sim::compare_schemes(cfg, mix);
-    print_result(c.snuca, &c.snuca, csv);
-    print_result(c.private_llc, &c.snuca, csv);
-    print_result(c.ideal, &c.snuca, csv);
-    print_result(c.delta, &c.snuca, csv);
+    const sim::SchemeComparison c = sim::compare_schemes(cfg, mix, observer.get());
+    print_result(c.snuca, &c.snuca, csv, text_out);
+    print_result(c.private_llc, &c.snuca, csv, text_out);
+    print_result(c.ideal, &c.snuca, csv, text_out);
+    print_result(c.delta, &c.snuca, csv, text_out);
     if (!csv) {
-      std::printf("\nANTT/STP vs private: ideal %.3f/%.2f, delta %.3f/%.2f\n",
-                  sim::antt(c.ideal, c.private_llc), sim::stp(c.ideal, c.private_llc),
-                  sim::antt(c.delta, c.private_llc), sim::stp(c.delta, c.private_llc));
+      std::fprintf(text_out,
+                   "\nANTT/STP vs private: ideal %.3f/%.2f, delta %.3f/%.2f\n",
+                   sim::antt(c.ideal, c.private_llc), sim::stp(c.ideal, c.private_llc),
+                   sim::antt(c.delta, c.private_llc), sim::stp(c.delta, c.private_llc));
     }
-    return 0;
+    results = {c.snuca, c.private_llc, c.ideal, c.delta};
+  } else {
+    sim::SchemeKind kind;
+    if (scheme == "snuca") {
+      kind = sim::SchemeKind::kSnuca;
+    } else if (scheme == "private") {
+      kind = sim::SchemeKind::kPrivate;
+    } else if (scheme == "ideal") {
+      kind = sim::SchemeKind::kIdealCentralized;
+    } else if (scheme == "delta") {
+      kind = sim::SchemeKind::kDelta;
+    } else {
+      std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
+      return 1;
+    }
+    const sim::MixResult r = sim::run_mix(cfg, mix, kind, opts, observer.get());
+    print_result(r, nullptr, csv, text_out);
+    results = {r};
   }
 
-  sim::SchemeKind kind;
-  if (scheme == "snuca") {
-    kind = sim::SchemeKind::kSnuca;
-  } else if (scheme == "private") {
-    kind = sim::SchemeKind::kPrivate;
-  } else if (scheme == "ideal") {
-    kind = sim::SchemeKind::kIdealCentralized;
-  } else if (scheme == "delta") {
-    kind = sim::SchemeKind::kDelta;
-  } else {
-    std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
-    return 1;
+  bool io_ok = true;
+  if (args.has("trace-out"))
+    io_ok &= write_or_complain(args.get("trace-out"),
+                               obs::chrome_trace_json(*observer));
+  if (args.has("timeline-csv"))
+    io_ok &= write_or_complain(args.get("timeline-csv"),
+                               obs::timeline_csv(*observer));
+  if (args.has("json")) {
+    const std::string summary = sim::json_summary(results, observer.get());
+    const std::string path = args.get("json");
+    if (path.empty()) {
+      std::fputs(summary.c_str(), stdout);
+    } else {
+      io_ok &= write_or_complain(path, summary);
+    }
   }
-  const sim::MixResult r = sim::run_mix(cfg, mix, kind, opts);
-  print_result(r, nullptr, csv);
-  return 0;
+  return io_ok ? 0 : 1;
 }
