@@ -1,0 +1,97 @@
+#include "check/differential.hpp"
+
+namespace delta::check {
+namespace {
+
+void check_one(const sim::MixResult& r, std::vector<Violation>& out) {
+  using noc::MsgType;
+  std::uint64_t total_misses = 0;
+  for (const sim::AppResult& a : r.apps) {
+    total_misses += a.llc_misses;
+    if (a.llc_misses > a.llc_accesses)
+      out.push_back(Violation{
+          InvariantKind::kDemandConservation, 0, a.core, kInvalidBank,
+          static_cast<std::int64_t>(a.llc_misses),
+          static_cast<std::int64_t>(a.llc_accesses),
+          r.scheme + ": app has more misses than accesses"});
+  }
+
+  // Every miss goes to memory exactly once, and every request is answered.
+  const std::uint64_t mem_req = r.traffic.total(MsgType::kMemRequest);
+  const std::uint64_t mem_resp = r.traffic.total(MsgType::kMemResponse);
+  if (mem_req != total_misses)
+    out.push_back(Violation{InvariantKind::kDemandConservation, 0, kInvalidCore,
+                            kInvalidBank, static_cast<std::int64_t>(mem_req),
+                            static_cast<std::int64_t>(total_misses),
+                            r.scheme + ": memory requests != LLC misses"});
+  if (mem_resp != mem_req)
+    out.push_back(Violation{InvariantKind::kDemandConservation, 0, kInvalidCore,
+                            kInvalidBank, static_cast<std::int64_t>(mem_resp),
+                            static_cast<std::int64_t>(mem_req),
+                            r.scheme + ": memory responses != requests"});
+  const std::uint64_t llc_req = r.traffic.total(MsgType::kLlcRequest);
+  const std::uint64_t llc_resp = r.traffic.total(MsgType::kLlcResponse);
+  if (llc_req != llc_resp)
+    out.push_back(Violation{InvariantKind::kDemandConservation, 0, kInvalidCore,
+                            kInvalidBank, static_cast<std::int64_t>(llc_resp),
+                            static_cast<std::int64_t>(llc_req),
+                            r.scheme + ": LLC responses != requests"});
+
+  // Static schemes never reconfigure: no control-plane messages, no
+  // bulk-invalidated lines.
+  if (r.scheme == "snuca" || r.scheme == "private") {
+    if (r.control.total() != 0)
+      out.push_back(Violation{
+          InvariantKind::kStaticControl, 0, kInvalidCore, kInvalidBank,
+          static_cast<std::int64_t>(r.control.total()), 0,
+          r.scheme + ": static scheme emitted control messages"});
+    if (r.invalidated_lines != 0 ||
+        r.traffic.total(MsgType::kInvalidation) != 0)
+      out.push_back(Violation{
+          InvariantKind::kStaticControl, 0, kInvalidCore, kInvalidBank,
+          static_cast<std::int64_t>(r.invalidated_lines), 0,
+          r.scheme + ": static scheme invalidated lines"});
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> diff_schemes(std::span<const sim::MixResult> results,
+                                    bool lockstep) {
+  std::vector<Violation> out;
+  if (results.empty()) return out;
+  const sim::MixResult& ref = results.front();
+
+  for (const sim::MixResult& r : results) {
+    check_one(r, out);
+    if (r.measured_epochs != ref.measured_epochs)
+      out.push_back(Violation{
+          InvariantKind::kAccessConservation, 0, kInvalidCore, kInvalidBank,
+          static_cast<std::int64_t>(r.measured_epochs),
+          static_cast<std::int64_t>(ref.measured_epochs),
+          r.scheme + ": measured window differs from " + ref.scheme});
+    if (r.apps.size() != ref.apps.size()) {
+      out.push_back(Violation{
+          InvariantKind::kAccessConservation, 0, kInvalidCore, kInvalidBank,
+          static_cast<std::int64_t>(r.apps.size()),
+          static_cast<std::int64_t>(ref.apps.size()),
+          r.scheme + ": app count differs from " + ref.scheme});
+      continue;
+    }
+    if (!lockstep) continue;
+    // Lockstep runs pin the epoch access budget to the nominal CPI, so the
+    // per-app access streams — and hence the counts — must be identical
+    // across schemes.
+    for (std::size_t i = 0; i < r.apps.size(); ++i) {
+      if (r.apps[i].llc_accesses != ref.apps[i].llc_accesses)
+        out.push_back(Violation{
+            InvariantKind::kAccessConservation, 0, r.apps[i].core,
+            kInvalidBank, static_cast<std::int64_t>(r.apps[i].llc_accesses),
+            static_cast<std::int64_t>(ref.apps[i].llc_accesses),
+            r.scheme + ": per-app access count differs from " + ref.scheme});
+    }
+  }
+  return out;
+}
+
+}  // namespace delta::check

@@ -1,0 +1,29 @@
+// Differential-scheme oracle: conservation properties every scheme shares.
+//
+// The four schemes (snuca, private, ideal-central, delta) model the same
+// chip on the same workload, so some totals must agree regardless of
+// policy: every LLC miss produces exactly one memory request and one
+// response, LLC request/response message counts pair up, static schemes
+// emit no control-plane traffic and invalidate no lines, and — when the
+// runs were produced with MachineConfig::lockstep_accesses (pinning the
+// access budget to the nominal CPI instead of the measured feedback loop)
+// — the per-core access streams, and therefore the per-app access counts,
+// are identical across schemes.  Violations reuse check::Violation so the
+// fuzz harness reports one unified list.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "sim/metrics.hpp"
+
+namespace delta::check {
+
+/// Cross-checks `results` (one MixResult per scheme, same config/mix/seed).
+/// `lockstep` asserts the per-app access-count equality, which only holds
+/// for runs made with cfg.lockstep_accesses = true.
+std::vector<Violation> diff_schemes(std::span<const sim::MixResult> results,
+                                    bool lockstep);
+
+}  // namespace delta::check

@@ -6,8 +6,11 @@
 // and avoids thread-creation overhead for tiny ranges.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,6 +19,12 @@ namespace delta {
 /// Invokes `body(i)` for every i in [begin, end) using up to `threads`
 /// worker threads (0 == hardware_concurrency).  Blocks until all complete.
 /// `body` must be safe to call concurrently for distinct indices.
+///
+/// Exceptions: if any invocation throws, the first exception (by completion
+/// order) is rethrown on the calling thread after every worker has joined.
+/// Remaining workers stop picking up new indices once a failure is flagged,
+/// so a throwing body cannot terminate the process the way an escaping
+/// exception on a std::thread would.
 inline void parallel_for(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& body,
                          unsigned threads = 0) {
@@ -28,15 +37,29 @@ inline void parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
   std::vector<std::thread> pool;
   pool.reserve(hw);
   for (unsigned t = 0; t < hw; ++t) {
     pool.emplace_back([&, t] {
       // Static round-robin assignment: thread t handles begin+t, begin+t+hw, ...
-      for (std::size_t i = begin + t; i < end; i += hw) body(i);
+      for (std::size_t i = begin + t; i < end; i += hw) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
     });
   }
   for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace delta

@@ -70,6 +70,7 @@ void Cbt::rebuild(const std::vector<std::pair<BankId, int>>& bank_ways,
     cursor += chunks[i];
   }
   assert(cursor == mem::kNumChunks);
+  last_alloc_ = bank_ways;
 
   if (rec != nullptr)
     rec->record(obs::EventKind::kCbtRebuild, epoch, owner,

@@ -57,6 +57,12 @@ class Cbt {
   const std::vector<CbtRange>& ranges() const { return ranges_; }
   int range_count() const { return static_cast<int>(ranges_.size()); }
 
+  /// The (bank, ways) pairs of the last rebuild — the allocation the range
+  /// sizes are proportional to.  Way counts may drift afterwards (intra-bank
+  /// transfers do not remap addresses), so invariant checks compare range
+  /// sizes against this record, not against live WP state.
+  const std::vector<std::pair<BankId, int>>& last_alloc() const { return last_alloc_; }
+
   /// Chunks whose bank assignment differs from `prev` — the set that must
   /// be invalidated at their previous location after a reconfiguration.
   std::vector<int> changed_chunks(const Cbt& prev) const;
@@ -66,6 +72,7 @@ class Cbt {
 
  private:
   std::vector<CbtRange> ranges_;
+  std::vector<std::pair<BankId, int>> last_alloc_;
   std::array<BankId, mem::kNumChunks> chunk_map_{};
   bool reverse_bits_ = true;
 };

@@ -107,6 +107,12 @@ class DeltaController {
   int num_tiles() const { return mesh_.tiles(); }
   int ways_per_bank() const { return ways_per_bank_; }
 
+  /// Test-only fault injection (invariant-checker tests): forces the owner
+  /// of one way, bypassing every conservation rule the policy maintains.
+  void debug_set_way_owner(BankId bank, int way, CoreId owner) {
+    wp_[static_cast<std::size_t>(bank)].set_owner(way, owner);
+  }
+
   /// Hardware state per tile for the distributed implementation
   /// (Sec. II-B4 + II-C): an (N+2)-entry pain register array and an
   /// (N+1)-entry distance-ordered tile-id array of log2(N) bits each, the

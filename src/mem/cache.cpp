@@ -126,4 +126,13 @@ std::uint64_t SetAssocCache::valid_lines() const {
   return n;
 }
 
+void SetAssocCache::for_each_line(
+    const std::function<void(std::uint32_t, int, BlockAddr, CoreId)>& fn) const {
+  for (std::uint32_t s = 0; s < sets_; ++s) {
+    const Way* set = set_begin(s);
+    for (int w = 0; w < ways_; ++w)
+      if (set[w].valid) fn(s, w, set[w].block, set[w].owner);
+  }
+}
+
 }  // namespace delta::mem

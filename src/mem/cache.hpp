@@ -77,6 +77,11 @@ class SetAssocCache {
   /// Number of valid lines overall.
   std::uint64_t valid_lines() const;
 
+  /// Invariant-checker support: invokes `fn(set, way, block, owner)` for
+  /// every valid line, in (set, way) order.
+  void for_each_line(
+      const std::function<void(std::uint32_t, int, BlockAddr, CoreId)>& fn) const;
+
   /// Reassigns ownership tags of resident lines in `from`-owned ways —
   /// used only by tests; the real WP unit leaves resident lines untouched.
   const CacheStats& stats() const { return stats_; }

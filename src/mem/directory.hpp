@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "common/types.hpp"
@@ -53,8 +54,16 @@ class MesifDirectory {
   CoreId forwarder(BlockAddr block) const;
 
   std::size_t tracked_blocks() const { return dir_.size(); }
+  int num_cores() const { return num_cores_; }
   const DirectoryStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
+
+  /// Invariant-checker support: visits every tracked entry as
+  /// `fn(block, state, sharer_mask, forwarder)` (unordered).
+  void for_each_entry(const std::function<void(BlockAddr, CoherenceState,
+                                               std::uint64_t, CoreId)>& fn) const {
+    for (const auto& [block, e] : dir_) fn(block, e.st, e.sharers, e.fwd);
+  }
 
  private:
   struct Entry {

@@ -26,6 +26,7 @@ enum class EventKind : std::uint8_t {
   kBulkInvalidation,    ///< Sweep dropped lines (count = lines, a = chunks).
   kPainGainSample,      ///< Per-tile heuristic snapshot (a = raw gain, b = pain).
   kCentralReconfig,     ///< Centralized scheme recomputed allocations.
+  kInvariantViolation,  ///< Invariant checker fired (other = InvariantKind).
   kCount
 };
 
@@ -42,6 +43,7 @@ constexpr std::string_view event_kind_name(EventKind k) {
     case EventKind::kBulkInvalidation: return "bulk_invalidation";
     case EventKind::kPainGainSample: return "pain_gain";
     case EventKind::kCentralReconfig: return "central_reconfig";
+    case EventKind::kInvariantViolation: return "invariant_violation";
     case EventKind::kCount: break;
   }
   return "?";

@@ -100,7 +100,14 @@ void Chip::run_one_epoch(bool measuring) {
     }
     s.gen->set_epoch(epoch_);
     const workload::Phase& ph = s.gen->phase();
-    const double instr = static_cast<double>(cfg_.epoch_cycles) / s.cpi_est;
+    // cpi_est feeds performance back into the access budget, so counts
+    // diverge across schemes.  Lockstep mode pins the budget to the
+    // profile's nominal CPI instead, making per-app access streams
+    // scheme-identical — the property the differential oracle checks.
+    const double cpi = cfg_.lockstep_accesses
+                           ? ph.cpi_base + ph.apki / 1000.0 * 100.0 / ph.mlp
+                           : s.cpi_est;
+    const double instr = static_cast<double>(cfg_.epoch_cycles) / cpi;
     epoch_targets_[static_cast<std::size_t>(c)] =
         static_cast<std::uint64_t>(instr * ph.apki / 1000.0);
     s.epoch_accesses = 0;
@@ -115,6 +122,9 @@ void Chip::run_one_epoch(bool measuring) {
     for (auto& s : slots_)
       if (s.umon) s.umon->decay(0.5);
   }
+  // Invariant sweep over the post-reconfiguration state (way conservation,
+  // CBT coverage, residency agreement, ...) before any access runs on it.
+  if (checker_ != nullptr) checker_->on_epoch(*this, epoch_);
 
   // Interleaved issue: round-robin batches until every budget is drained.
   bool work_left = true;

@@ -67,6 +67,19 @@ struct AppSlot {
   double epoch_lat_sum = 0.0;
 };
 
+class Chip;
+
+/// Epoch-boundary hook for chip-wide validation (src/check's
+/// InvariantChecker implements it).  Defined here rather than in the check
+/// library so Chip can invoke it without a dependency cycle.  `on_epoch`
+/// runs right after the scheme's begin_epoch(), i.e. against the
+/// post-reconfiguration state the epoch's accesses will see.
+class EpochChecker {
+ public:
+  virtual ~EpochChecker() = default;
+  virtual void on_epoch(Chip& chip, std::uint64_t epoch) = 0;
+};
+
 class Chip {
  public:
   /// `apps` holds one profile short-name per core ("idle" => idle core).
@@ -107,6 +120,11 @@ class Chip {
     return obs_ != nullptr ? obs_->event_sink() : nullptr;
   }
 
+  /// Attaches an epoch-boundary checker (may be null; not owned).  Invoked
+  /// every epoch after the scheme's reconfiguration hook.
+  void set_checker(EpochChecker* c) { checker_ = c; }
+  EpochChecker* checker() { return checker_; }
+
   /// Bulk-invalidation unit (Sec. II-C3): sweeps `old_bank` and drops
   /// `core`-owned lines whose CBT chunk is in `chunks`.  Returns the number
   /// of lines invalidated and counts one kInvalidation command message.
@@ -135,6 +153,7 @@ class Chip {
   // Observability (nullable, not owned).  prev_* snapshots turn cumulative
   // counters into per-epoch deltas for the timeline sampler.
   obs::Observer* obs_ = nullptr;
+  EpochChecker* checker_ = nullptr;  // Nullable, not owned.
   noc::TrafficStats prev_traffic_;
   std::uint64_t prev_invalidated_lines_ = 0;
   std::vector<std::uint64_t> prev_hits_, prev_misses_;

@@ -42,6 +42,14 @@ struct MachineConfig {
   /// ground-truth MLP.  Off by default to keep runs comparable.
   bool measured_mlp = false;
 
+  /// Pin each epoch's per-core access budget to the profile's nominal CPI
+  /// instead of the measured cpi_est feedback loop.  This makes access
+  /// streams byte-identical across schemes for the same config/mix/seed —
+  /// required by the differential-scheme oracle (src/check/differential.hpp),
+  /// which cross-checks totals between schemes.  Off for normal runs: the
+  /// feedback loop is part of the timing model.
+  bool lockstep_accesses = false;
+
   int sets_per_bank() const { return 1 << sets_log2; }
   std::uint64_t bank_bytes() const {
     return static_cast<std::uint64_t>(sets_per_bank()) * ways_per_bank * kLineBytes;

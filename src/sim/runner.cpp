@@ -6,7 +6,7 @@
 namespace delta::sim {
 
 MixResult run_mix(const MachineConfig& cfg, const workload::Mix& mix, SchemeKind kind,
-                  SchemeOptions opts, obs::Observer* obs) {
+                  SchemeOptions opts, obs::Observer* obs, EpochChecker* checker) {
   if (static_cast<int>(mix.apps.size()) != cfg.cores)
     throw std::invalid_argument("mix size does not match core count");
   Chip chip(cfg, mix.apps, make_scheme(kind, opts));
@@ -14,16 +14,17 @@ MixResult run_mix(const MachineConfig& cfg, const workload::Mix& mix, SchemeKind
     obs->begin_run(std::string(to_string(kind)));
     chip.set_observer(obs);
   }
+  chip.set_checker(checker);
   return chip.run(mix.name);
 }
 
 SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& mix,
-                                 obs::Observer* obs) {
+                                 obs::Observer* obs, EpochChecker* checker) {
   SchemeComparison out;
-  out.snuca = run_mix(cfg, mix, SchemeKind::kSnuca, {}, obs);
-  out.private_llc = run_mix(cfg, mix, SchemeKind::kPrivate, {}, obs);
-  out.ideal = run_mix(cfg, mix, SchemeKind::kIdealCentralized, {}, obs);
-  out.delta = run_mix(cfg, mix, SchemeKind::kDelta, {}, obs);
+  out.snuca = run_mix(cfg, mix, SchemeKind::kSnuca, {}, obs, checker);
+  out.private_llc = run_mix(cfg, mix, SchemeKind::kPrivate, {}, obs, checker);
+  out.ideal = run_mix(cfg, mix, SchemeKind::kIdealCentralized, {}, obs, checker);
+  out.delta = run_mix(cfg, mix, SchemeKind::kDelta, {}, obs, checker);
   return out;
 }
 

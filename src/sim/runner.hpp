@@ -15,9 +15,11 @@ namespace delta::sim {
 
 /// Runs `mix` (its app list must match cfg.cores) under `kind`.  A non-null
 /// `obs` collects the run's event trace / epoch timeline (a new observer
-/// run named after the scheme is begun first).
+/// run named after the scheme is begun first).  A non-null `checker` is
+/// attached to the chip and invoked at every epoch boundary.
 MixResult run_mix(const MachineConfig& cfg, const workload::Mix& mix, SchemeKind kind,
-                  SchemeOptions opts = {}, obs::Observer* obs = nullptr);
+                  SchemeOptions opts = {}, obs::Observer* obs = nullptr,
+                  EpochChecker* checker = nullptr);
 
 /// All four schemes on the same mix with identical workload streams; with
 /// an observer the runs land in one trace as four named runs.
@@ -28,7 +30,8 @@ struct SchemeComparison {
   MixResult delta;
 };
 SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& mix,
-                                 obs::Observer* obs = nullptr);
+                                 obs::Observer* obs = nullptr,
+                                 EpochChecker* checker = nullptr);
 
 /// Resolves a 16-core Table IV mix to the machine size (replicating 4x for
 /// 64 cores per Sec. III-B).

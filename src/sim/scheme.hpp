@@ -17,6 +17,11 @@
 #include "mem/cache.hpp"
 #include "mem/replacement.hpp"
 
+namespace delta::core {
+class Cbt;
+class WpUnit;
+}  // namespace delta::core
+
 namespace delta::sim {
 
 class Chip;
@@ -52,6 +57,20 @@ class Scheme {
                             const mem::AccessResult& /*result*/) {}
   /// Ways currently allocated to `core` chip-wide (for reporting).
   virtual int allocated_ways(const Chip&, CoreId core) const = 0;
+
+  // ---- Introspection for the invariant checker (src/check). ----
+  /// The per-bank way-partition unit / per-core CBT when the scheme
+  /// maintains them (delta, ideal-central); null for schemes without that
+  /// state (snuca, private), which the checker treats as "not applicable".
+  virtual const core::WpUnit* wp_unit(BankId) const { return nullptr; }
+  virtual const core::Cbt* cbt_of(CoreId) const { return nullptr; }
+  /// Occupancy-enforcement bookkeeping for (`bank`, `core`): the line count
+  /// the scheme believes the partition holds, or -1 when it keeps none.
+  virtual std::int64_t tracked_occupancy(BankId, CoreId) const { return -1; }
+  /// Test-only fault injection: silently drops ownership of one way so
+  /// tests can prove the invariant checker catches way leaks.  Returns
+  /// false for schemes without WP state.
+  virtual bool debug_drop_way(BankId, int /*way*/) { return false; }
 };
 
 struct SchemeOptions {

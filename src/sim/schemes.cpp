@@ -150,6 +150,26 @@ class DeltaScheme final : public Scheme {
     return ctrl_->total_ways(core);
   }
 
+  const core::WpUnit* wp_unit(BankId bank) const override {
+    return ctrl_ != nullptr ? &ctrl_->wp(bank) : nullptr;
+  }
+
+  const core::Cbt* cbt_of(CoreId core) const override {
+    return ctrl_ != nullptr ? &ctrl_->cbt(core) : nullptr;
+  }
+
+  std::int64_t tracked_occupancy(BankId bank, CoreId core) const override {
+    if (!occupancy_mode_) return -1;
+    return static_cast<std::int64_t>(
+        enforcers_[static_cast<std::size_t>(bank)].occupancy(core));
+  }
+
+  bool debug_drop_way(BankId bank, int way) override {
+    if (ctrl_ == nullptr) return false;
+    ctrl_->debug_set_way_owner(bank, way, kInvalidCore);
+    return true;
+  }
+
   const core::DeltaController& controller() const { return *ctrl_; }
 
  private:
@@ -212,6 +232,24 @@ class IdealCentralScheme final : public Scheme {
     int total = 0;
     for (const auto& w : wp_) total += w.ways_of(core);
     return total;
+  }
+
+  const core::WpUnit* wp_unit(BankId bank) const override {
+    return bank < static_cast<BankId>(wp_.size())
+               ? &wp_[static_cast<std::size_t>(bank)]
+               : nullptr;
+  }
+
+  const core::Cbt* cbt_of(CoreId core) const override {
+    return core < static_cast<CoreId>(cbts_.size())
+               ? &cbts_[static_cast<std::size_t>(core)]
+               : nullptr;
+  }
+
+  bool debug_drop_way(BankId bank, int way) override {
+    if (bank >= static_cast<BankId>(wp_.size())) return false;
+    wp_[static_cast<std::size_t>(bank)].set_owner(way, kInvalidCore);
+    return true;
   }
 
  private:

@@ -10,7 +10,10 @@ Umon::Umon(UmonConfig cfg) : cfg_(cfg) {
   assert(cfg_.set_dilution >= 1);
   assert(cfg_.coarse_ways >= 1);
   const int sets = 1 << cfg_.sets_log2;
-  num_stacks_ = sets / cfg_.set_dilution;
+  // Ceiling division: monitored sets are the multiples of set_dilution in
+  // [0, sets), so a dilution that does not divide the set count still needs
+  // a stack for the last monitored set.
+  num_stacks_ = (sets + cfg_.set_dilution - 1) / cfg_.set_dilution;
   assert(num_stacks_ >= 1);
   stacks_.resize(static_cast<std::size_t>(num_stacks_));
   for (auto& s : stacks_) s.reserve(static_cast<std::size_t>(cfg_.max_ways));

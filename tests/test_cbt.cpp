@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "core/cbt.hpp"
 
 namespace delta::core {
@@ -103,6 +106,141 @@ TEST(Cbt, RetreatShrinksRangeCount) {
   cbt.rebuild({{0, 16}, {2, 4}});
   EXPECT_EQ(cbt.range_count(), 2);
   for (int c = 0; c < mem::kNumChunks; ++c) EXPECT_NE(cbt.bank_for_chunk(c), 1);
+}
+
+// --- Edge cases: single-way allocations, retreat-then-regrow remap
+// sequences, and bit-reversed coverage at the 8-bit selector boundary.
+
+int chunks_of(const Cbt& cbt, BankId bank) {
+  int n = 0;
+  for (int c = 0; c < mem::kNumChunks; ++c)
+    if (cbt.bank_for_chunk(c) == bank) ++n;
+  return n;
+}
+
+TEST(CbtEdge, AllSingleWayAllocationsSplitEvenly) {
+  // 16 banks with one way each: every bank gets exactly 256/16 chunks and
+  // the range list has exactly one contiguous range per bank.
+  Cbt cbt(0);
+  std::vector<std::pair<BankId, int>> alloc;
+  for (BankId b = 0; b < 16; ++b) alloc.push_back({b, 1});
+  cbt.rebuild(alloc);
+  for (BankId b = 0; b < 16; ++b) EXPECT_EQ(chunks_of(cbt, b), 16) << b;
+  EXPECT_EQ(cbt.range_count(), 16);
+}
+
+TEST(CbtEdge, SingleWayGuestAmongLargeHome) {
+  // One-way guests must survive largest-remainder rounding even when the
+  // home allocation dwarfs them (the starvation fix).
+  Cbt cbt(2);
+  cbt.rebuild({{2, 61}, {7, 1}, {11, 1}, {14, 1}});
+  EXPECT_GE(chunks_of(cbt, 7), 1);
+  EXPECT_GE(chunks_of(cbt, 11), 1);
+  EXPECT_GE(chunks_of(cbt, 14), 1);
+  EXPECT_EQ(chunks_of(cbt, 2) + chunks_of(cbt, 7) + chunks_of(cbt, 11) +
+                chunks_of(cbt, 14),
+            mem::kNumChunks);
+}
+
+TEST(CbtEdge, MinimalAllocationIsOneRangeCoveringEverything) {
+  Cbt cbt(5);
+  cbt.rebuild({{5, 1}});  // A single way in the home bank.
+  EXPECT_EQ(cbt.range_count(), 1);
+  EXPECT_EQ(chunks_of(cbt, 5), mem::kNumChunks);
+}
+
+TEST(CbtEdge, RetreatThenRegrowRemapSequence) {
+  // Grow into bank 9, retreat from it, then regrow: each step's
+  // changed_chunks must be exactly the chunks whose mapping moved, and the
+  // retreat must surrender every chunk bank 9 held (so the controller's
+  // bulk invalidation covers all stale lines).
+  Cbt cbt(0);
+  cbt.rebuild({{0, 16}, {9, 8}});
+  Cbt grown = cbt;
+  const int guest_chunks = chunks_of(cbt, 9);
+  ASSERT_GT(guest_chunks, 0);
+
+  Cbt retreated = cbt;
+  retreated.rebuild({{0, 16}});
+  const auto lost = retreated.changed_chunks(cbt);
+  EXPECT_EQ(static_cast<int>(lost.size()), guest_chunks);
+  for (int c : lost) {
+    EXPECT_EQ(cbt.bank_for_chunk(c), 9);
+    EXPECT_EQ(retreated.bank_for_chunk(c), 0);
+  }
+
+  Cbt regrown = retreated;
+  regrown.rebuild({{0, 16}, {9, 8}});
+  // Deterministic rebuild: regrowing the identical allocation restores the
+  // identical map, and the diff vs the retreated state is again the guest's
+  // chunk set.
+  EXPECT_TRUE(regrown.changed_chunks(grown).empty());
+  EXPECT_EQ(regrown.changed_chunks(retreated).size(), lost.size());
+}
+
+TEST(CbtEdge, ChangedChunksUnionCoversBothDirections) {
+  // No chunk may silently change hands: a chunk differing between two
+  // tables appears in changed_chunks regardless of direction.
+  Cbt a(0), b(0);
+  a.rebuild({{0, 8}, {3, 8}});
+  b.rebuild({{0, 4}, {3, 4}, {6, 8}});
+  const auto a_to_b = b.changed_chunks(a);
+  std::set<int> moved(a_to_b.begin(), a_to_b.end());
+  for (int c = 0; c < mem::kNumChunks; ++c) {
+    const bool differs = a.bank_for_chunk(c) != b.bank_for_chunk(c);
+    EXPECT_EQ(moved.count(c) == 1, differs) << "chunk " << c;
+  }
+  // Symmetric cardinality: the same chunk set moves in either direction.
+  EXPECT_EQ(a.changed_chunks(b).size(), a_to_b.size());
+}
+
+TEST(CbtEdge, BitReversedCoverageAtEightBitBoundary) {
+  // Walking the 256 consecutive selector-byte values must touch all 256
+  // chunks exactly once (reverse8 is a bijection), for any sets_log2.
+  for (int sets_log2 : {9, 11}) {
+    std::set<int> seen;
+    for (BlockAddr sel = 0; sel < 256; ++sel)
+      seen.insert(mem::chunk_of(sel << sets_log2, sets_log2));
+    EXPECT_EQ(seen.size(), 256u) << "sets_log2 " << sets_log2;
+  }
+}
+
+TEST(CbtEdge, ChunkIgnoresBitsAboveSelectorByte) {
+  // Bits above sets_log2 + 8 must not influence the chunk: addresses that
+  // alias in the selector byte land in the same CBT range.
+  const int sets_log2 = 9;
+  for (BlockAddr sel : {BlockAddr{0}, BlockAddr{1}, BlockAddr{0x80}, BlockAddr{0xFF}}) {
+    const int base = mem::chunk_of(sel << sets_log2, sets_log2);
+    for (int high = 1; high <= 4; ++high) {
+      const BlockAddr aliased =
+          (sel << sets_log2) | (BlockAddr{static_cast<std::uint64_t>(high)} << (sets_log2 + 8));
+      EXPECT_EQ(mem::chunk_of(aliased, sets_log2), base);
+    }
+  }
+}
+
+TEST(CbtEdge, StraightIndexingContiguousRunsSplitAcrossRanges) {
+  // Ablation knob: without bit reversal a contiguous 128-chunk run maps to
+  // one range; with reversal the same physical run alternates between the
+  // two halves — consecutive selector values flip the reversed MSB.
+  Cbt rev(0, /*reverse_bits=*/true);
+  Cbt straight(0, /*reverse_bits=*/false);
+  rev.rebuild({{0, 8}, {9, 8}});
+  straight.rebuild({{0, 8}, {9, 8}});
+  const int sets_log2 = 9;
+  int rev_flips = 0, straight_flips = 0;
+  BankId prev_rev = rev.lookup(0, sets_log2);
+  BankId prev_str = straight.lookup(0, sets_log2);
+  for (BlockAddr sel = 1; sel < 256; ++sel) {
+    const BankId r = rev.lookup(sel << sets_log2, sets_log2);
+    const BankId s = straight.lookup(sel << sets_log2, sets_log2);
+    rev_flips += (r != prev_rev);
+    straight_flips += (s != prev_str);
+    prev_rev = r;
+    prev_str = s;
+  }
+  EXPECT_EQ(straight_flips, 1);    // One boundary crossing at chunk 128.
+  EXPECT_EQ(rev_flips, 255);       // Reversed MSB = selector LSB: alternates.
 }
 
 }  // namespace

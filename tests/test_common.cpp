@@ -137,6 +137,62 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
   parallel_for(5, 5, [](std::size_t) { FAIL(); });
 }
 
+TEST(ParallelFor, PropagatesWorkerException) {
+  // A throw on a worker thread must surface on the calling thread, not
+  // std::terminate the process (regression: exceptions used to escape the
+  // worker's thread entry point).
+  EXPECT_THROW(
+      parallel_for(
+          0, 64,
+          [](std::size_t i) {
+            if (i == 13) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, PropagatesExceptionMessage) {
+  try {
+    parallel_for(
+        0, 8, [](std::size_t) { throw std::runtime_error("worker died"); }, 3);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker died");
+  }
+}
+
+TEST(ParallelFor, PropagatesExceptionFromSerialPath) {
+  // threads <= 1 runs inline; the throw must pass through unchanged.
+  EXPECT_THROW(
+      parallel_for(
+          0, 4, [](std::size_t) { throw std::logic_error("serial"); }, 1),
+      std::logic_error);
+}
+
+TEST(ParallelFor, StopsSchedulingAfterFailure) {
+  // After one worker throws, remaining iterations are skipped (best-effort
+  // early stop) and every thread is still joined before the rethrow.
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(
+        0, 100'000,
+        [&](std::size_t i) {
+          if (i == 0) throw std::runtime_error("first");
+          ran.fetch_add(1, std::memory_order_relaxed);
+        },
+        4);
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LT(ran.load(), 100'000);
+}
+
+TEST(ParallelFor, NonExceptionalRunsAreUnaffectedByGuard) {
+  // The failure guard must not drop iterations on the happy path.
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(1, 101, [&](std::size_t i) { sum.fetch_add(i); }, 4);
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
 TEST(Types, BlockAndPageHelpers) {
   EXPECT_EQ(block_of(0), 0u);
   EXPECT_EQ(block_of(63), 0u);

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "common/rng.hpp"
 #include "umon/miss_curve.hpp"
+#include "umon/umon.hpp"
 
 namespace delta::umon {
 namespace {
@@ -50,6 +54,82 @@ TEST(MissCurve, ConvexHullSkipsCliffPlateau) {
   EXPECT_EQ(hull.front(), 0);
   // The interior plateau (1..3) must be bypassed.
   for (int p : hull) EXPECT_TRUE(p == 0 || p >= 4);
+}
+
+// --- Property tests: curves produced by a real Umon under randomized access
+// streams.  An LRU stack-distance profile always yields monotone
+// non-increasing miss curves; these pin that for both granularities.
+
+Umon random_stream_umon(std::uint64_t seed) {
+  Rng rng(seed);
+  UmonConfig cfg;
+  cfg.max_ways = 32 + static_cast<int>(rng.below(5)) * 16;  // 32..96
+  cfg.set_dilution = 1 + static_cast<int>(rng.below(4));
+  Umon u(cfg);
+  // Mix of uniform-random and looping phases over footprints of varying size.
+  const std::uint64_t accesses = 20'000 + rng.below(30'000);
+  const BlockAddr footprint = (1 + rng.below(64)) * 1024;
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    const BlockAddr b = rng.chance(0.5) ? rng.below(footprint)
+                                        : (i % footprint);
+    u.access(b);
+  }
+  return u;
+}
+
+void expect_monotone_non_increasing(const MissCurve& c) {
+  for (int w = 1; w <= c.max_ways(); ++w)
+    ASSERT_LE(c.at(w), c.at(w - 1) + 1e-9) << "ways " << w;
+}
+
+TEST(MissCurveProperty, FineCurveMonotoneOverRandomStreams) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Umon u = random_stream_umon(seed);
+    const MissCurve c = u.miss_curve();
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_monotone_non_increasing(c);
+    // Endpoint identities: misses(0) = all accesses, misses(max) = cold
+    // misses only.
+    EXPECT_NEAR(c.at(0), u.accesses(), 1e-6);
+    EXPECT_NEAR(c.at(c.max_ways()), u.misses_at_max(), 1e-6);
+  }
+}
+
+TEST(MissCurveProperty, CoarseCurveMonotoneOverRandomStreams) {
+  for (std::uint64_t seed = 20; seed <= 28; ++seed) {
+    const Umon u = random_stream_umon(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_monotone_non_increasing(u.coarse_miss_curve());
+  }
+}
+
+TEST(MissCurveProperty, CoarseMatchesFineAtBucketBoundaries) {
+  const Umon u = random_stream_umon(99);
+  const MissCurve fine = u.miss_curve();
+  const MissCurve coarse = u.coarse_miss_curve();
+  const int bucket = u.config().coarse_ways;
+  for (int w = 0; w <= u.max_ways(); w += bucket)
+    EXPECT_NEAR(coarse.at(w), fine.at(w), 1e-6) << "ways " << w;
+}
+
+TEST(MissCurveProperty, MonotonicitySurvivesDecay) {
+  Umon u = random_stream_umon(7);
+  u.decay(0.5);
+  expect_monotone_non_increasing(u.miss_curve());
+  expect_monotone_non_increasing(u.coarse_miss_curve());
+}
+
+TEST(MissCurveProperty, SavedIsNonNegativeForGrowth) {
+  const Umon u = random_stream_umon(3);
+  const MissCurve c = u.miss_curve();
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const int from = static_cast<int>(rng.below(static_cast<std::uint64_t>(c.max_ways())));
+    const int to = from + 1 +
+                   static_cast<int>(rng.below(static_cast<std::uint64_t>(c.max_ways() - from)));
+    ASSERT_GE(c.saved(from, to), -1e-9) << from << "->" << to;
+    ASSERT_GE(c.marginal_utility(from, to), -1e-9);
+  }
 }
 
 }  // namespace

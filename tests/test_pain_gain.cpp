@@ -101,5 +101,86 @@ TEST(PainGain, CliffInvisibleToWindow) {
   EXPECT_GT(total_benefit, 0.5 * u.accesses());
 }
 
+// --- Property tests over randomized monitors and window parameters:
+// non-negativity of both heuristics, and the exact Eq. 1 / Eq. 2 scaling
+// factors ((k+1)^-1 on gain only, 1/m on both).
+
+umon::Umon random_umon(std::uint64_t seed) {
+  Rng rng(seed);
+  umon::UmonConfig cfg;
+  cfg.max_ways = 64;
+  cfg.set_dilution = 1 + static_cast<int>(rng.below(4));
+  umon::Umon u(cfg);
+  const BlockAddr lines = (1 + rng.below(40)) * 512;
+  const std::uint64_t accesses = 10'000 + rng.below(40'000);
+  for (std::uint64_t i = 0; i < accesses; ++i)
+    u.access(rng.chance(0.6) ? rng.below(lines) : (i % lines));
+  return u;
+}
+
+TEST(PainGainProperty, BothHeuristicsAreNonNegative) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const umon::Umon u = random_umon(seed);
+    Rng rng(seed * 977);
+    for (int i = 0; i < 40; ++i) {
+      const int cur = 4 + static_cast<int>(rng.below(45));
+      const int outside = static_cast<int>(rng.below(static_cast<std::uint64_t>(cur)));
+      const int gw = 1 + static_cast<int>(rng.below(8));
+      const int pw = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(cur)));
+      const double mlp = 1.0 + rng.uniform() * 7.0;
+      const PainGain pg = compute_pain_gain(u, cur, outside, gw, pw, mlp);
+      ASSERT_GE(pg.raw_gain, 0.0) << "seed " << seed << " case " << i;
+      ASSERT_GE(pg.pain, 0.0) << "seed " << seed << " case " << i;
+      ASSERT_GE(scale_gain(pg.raw_gain, static_cast<int>(rng.below(7))), 0.0);
+    }
+  }
+}
+
+TEST(PainGainProperty, GainScalesExactlyByRemoteWayFactor) {
+  // Eq. 1: Gain ∝ (k+1)^-1.  Sweeping k with everything else fixed must
+  // reproduce the factor exactly, and pain must not move at all (Eq. 2).
+  const umon::Umon u = random_umon(4);
+  const PainGain base = compute_pain_gain(u, 16, 0, 4, 4, 2.0);
+  for (int k = 1; k <= 12; ++k) {
+    const PainGain pg = compute_pain_gain(u, 16, k, 4, 4, 2.0);
+    EXPECT_NEAR(pg.raw_gain, base.raw_gain / (k + 1), 1e-9) << "k=" << k;
+    EXPECT_NEAR(pg.pain, base.pain, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(PainGainProperty, BothScaleExactlyByInverseMlp) {
+  const umon::Umon u = random_umon(5);
+  const PainGain base = compute_pain_gain(u, 20, 2, 4, 4, 1.0);
+  for (double m : {1.5, 2.0, 3.0, 8.0}) {
+    const PainGain pg = compute_pain_gain(u, 20, 2, 4, 4, m);
+    EXPECT_NEAR(pg.raw_gain, base.raw_gain / m, 1e-9) << "mlp=" << m;
+    EXPECT_NEAR(pg.pain, base.pain / m, 1e-9) << "mlp=" << m;
+  }
+}
+
+TEST(PainGainProperty, GainBoundedByWindowMpka) {
+  // raw_gain = window_mpka * (k+1)^-1 / m with k >= 0, m >= 1: the
+  // undamped window MPKA is an upper bound on gain; same for pain.
+  for (std::uint64_t seed = 30; seed <= 36; ++seed) {
+    const umon::Umon u = random_umon(seed);
+    const int cur = 16;
+    const PainGain pg = compute_pain_gain(u, cur, 3, 4, 4, 1.0);
+    EXPECT_LE(pg.raw_gain, window_mpka(u, cur, cur + 4) + 1e-9);
+    EXPECT_LE(pg.pain, window_mpka(u, cur - 4, cur) + 1e-9);
+  }
+}
+
+TEST(PainGainProperty, DistanceScalingMonotoneInHops) {
+  const umon::Umon u = random_umon(6);
+  const PainGain pg = compute_pain_gain(u, 12, 1, 4, 4, 2.0);
+  double prev = scale_gain(pg.raw_gain, 0);
+  for (int hops = 1; hops <= 6; ++hops) {
+    const double g = scale_gain(pg.raw_gain, hops);
+    EXPECT_LE(g, prev + 1e-12);
+    EXPECT_GE(g, 0.0);
+    prev = g;
+  }
+}
+
 }  // namespace
 }  // namespace delta::core

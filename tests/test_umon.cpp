@@ -134,5 +134,20 @@ TEST(Umon, StorageCostReportsCoarseSavings) {
   EXPECT_GT(u.storage_bits(), 0u);
 }
 
+TEST(Umon, NonDivisorSetDilutionIsSafe) {
+  // Regression: dilution 3 over 512 sets monitors sets 0,3,...,510 — one
+  // more stack than 512/3 truncated; the last monitored set used to write
+  // out of bounds.
+  UmonConfig cfg;
+  cfg.max_ways = 16;
+  cfg.sets_log2 = 9;
+  cfg.set_dilution = 3;
+  Umon u(cfg);
+  for (BlockAddr b = 0; b < 4096; ++b) u.access(b);
+  for (BlockAddr b = 0; b < 4096; ++b) u.access(b);
+  EXPECT_GT(u.sampled_accesses(), 0u);
+  EXPECT_GT(u.hits_between(0, 16), 0.0);
+}
+
 }  // namespace
 }  // namespace delta::umon
