@@ -6,13 +6,17 @@
 //    compile-time checked against their arguments on GCC/Clang via
 //    DELTA_PRINTF_FORMAT; other compilers degrade to unchecked.
 //  - tear-free output: each record (prefix + message + newline) is composed
-//    in one buffer and handed to stderr in a single fwrite, so interleaved
-//    records from concurrent benches cannot shear mid-line.
+//    in one buffer and written to stderr under the annotated common::Mutex,
+//    so interleaved records from concurrent benches cannot shear mid-line.
+//    The level gate itself is a relaxed atomic: a disabled call never locks.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+
+#include "common/sync.hpp"
 
 /// Marks a function as printf-like for compile-time format checking.
 /// `fmt_idx` is the 1-based index of the format-string parameter and
@@ -31,9 +35,11 @@ enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
 class Logger {
  public:
-  static void set_level(LogLevel lvl) { level_ = lvl; }
-  static LogLevel level() { return level_; }
-  static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) <= static_cast<int>(level_); }
+  static void set_level(LogLevel lvl) { level_.store(lvl, std::memory_order_relaxed); }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static bool enabled(LogLevel lvl) {
+    return static_cast<int>(lvl) <= static_cast<int>(level());
+  }
 
   static void log(LogLevel lvl, const char* fmt, ...) DELTA_PRINTF_FORMAT(2, 3);
 
@@ -51,7 +57,15 @@ class Logger {
     }
     return "?";
   }
-  static inline LogLevel level_ = LogLevel::kWarn;
+  /// Serialises the stderr write of each record (tear-free output even on
+  /// platforms where a single fwrite may interleave).  Annotated so clang's
+  /// -Wthread-safety checks the discipline; see sync.hpp.
+  static common::Mutex& io_mutex() {
+    static common::Mutex mu;
+    return mu;
+  }
+
+  static inline std::atomic<LogLevel> level_ = LogLevel::kWarn;
 };
 
 inline std::string Logger::vformat(LogLevel lvl, const char* fmt, std::va_list ap) {
@@ -72,8 +86,9 @@ inline void Logger::log(LogLevel lvl, const char* fmt, ...) {
   va_start(ap, fmt);
   const std::string rec = vformat(lvl, fmt, ap);
   va_end(ap);
-  // One write per record: stderr is unbuffered, so a single fwrite keeps
-  // concurrent writers' records whole instead of interleaving fragments.
+  // One write per record, under the logger mutex: concurrent writers'
+  // records stay whole instead of interleaving fragments.
+  const common::LockGuard lock(io_mutex());
   std::fwrite(rec.data(), 1, rec.size(), stderr);
 }
 

@@ -10,11 +10,46 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
+
 namespace delta {
+
+namespace detail {
+
+/// First-exception capture slot shared by the worker pool.  The annotated
+/// mutex lets clang's -Wthread-safety prove that `error_` is only touched
+/// under the lock; the separate relaxed flag keeps the workers' fast-path
+/// poll lock-free.
+class ErrorSlot {
+ public:
+  /// Records the current in-flight exception if none was captured yet and
+  /// flags every worker to stop picking up new indices.
+  void capture() EXCLUDES(mu_) {
+    {
+      const common::LockGuard lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    failed_.store(true, std::memory_order_relaxed);
+  }
+
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  /// After all workers joined: the first captured exception (or null).
+  std::exception_ptr take() EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return error_;
+  }
+
+ private:
+  common::Mutex mu_;
+  std::exception_ptr error_ GUARDED_BY(mu_);
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace detail
 
 /// Invokes `body(i)` for every i in [begin, end) using up to `threads`
 /// worker threads (0 == hardware_concurrency).  Blocks until all complete.
@@ -37,29 +72,25 @@ inline void parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::atomic<bool> failed{false};
+  detail::ErrorSlot error;
   std::vector<std::thread> pool;
   pool.reserve(hw);
   for (unsigned t = 0; t < hw; ++t) {
     pool.emplace_back([&, t] {
       // Static round-robin assignment: thread t handles begin+t, begin+t+hw, ...
       for (std::size_t i = begin + t; i < end; i += hw) {
-        if (failed.load(std::memory_order_relaxed)) return;
+        if (error.failed()) return;
         try {
           body(i);
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
+          error.capture();
           return;
         }
       }
     });
   }
   for (auto& th : pool) th.join();
-  if (error) std::rethrow_exception(error);
+  if (std::exception_ptr e = error.take()) std::rethrow_exception(e);
 }
 
 }  // namespace delta

@@ -1,0 +1,439 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace delta::lint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when text[pos..pos+word) is `word` delimited by non-identifier
+/// characters on both sides.
+bool word_at(std::string_view text, std::size_t pos, std::string_view word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < text.size() && ident_char(text[end])) return false;
+  return true;
+}
+
+/// Finds the next whole-word occurrence of `word` at or after `from`.
+std::size_t find_word(std::string_view text, std::string_view word,
+                      std::size_t from = 0) {
+  for (std::size_t pos = text.find(word, from); pos != std::string_view::npos;
+       pos = text.find(word, pos + 1)) {
+    if (word_at(text, pos, word)) return pos;
+  }
+  return std::string_view::npos;
+}
+
+/// Replaces comments and string/character literal bodies with spaces,
+/// preserving length and line structure so offsets keep mapping to the
+/// original text.  Handles //, /*...*/, "...", '...' and R"delim(...)delim".
+std::string scrub(std::string_view text) {
+  std::string out(text);
+  enum class St { kCode, kLine, kBlock, kStr, kChar };
+  St st = St::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !ident_char(out[i - 1]))) {
+          // Raw string: R"delim( ... )delim" — blank the whole literal.
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < out.size() && out[p] != '(') delim += out[p++];
+          const std::string close = ")" + delim + "\"";
+          std::size_t end = out.find(close, p);
+          end = end == std::string::npos ? out.size() : end + close.size();
+          for (std::size_t j = i; j < end; ++j)
+            if (out[j] != '\n') out[j] = ' ';
+          i = end - 1;
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') st = St::kCode;
+        else out[i] = ' ';
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+      case St::kChar: {
+        const char quote = st == St::kStr ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') out[++i] = ' ';
+        } else if (c == quote) {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Skips a balanced `<...>` template argument list starting at the '<' at
+/// `pos`; returns the index one past the matching '>'.  npos if unbalanced.
+std::size_t skip_template_args(std::string_view text, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    else if (text[i] == '>' && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+/// Names declared with an unordered container type anywhere in the file:
+/// `std::unordered_map<K, V> name` (members, locals, parameters).
+std::set<std::string, std::less<>> unordered_names(std::string_view code) {
+  std::set<std::string, std::less<>> names;
+  for (const char* type : {"unordered_map", "unordered_set", "unordered_multimap",
+                           "unordered_multiset"}) {
+    for (std::size_t pos = find_word(code, type); pos != std::string_view::npos;
+         pos = find_word(code, type, pos + 1)) {
+      std::size_t p = pos + std::string_view(type).size();
+      if (p >= code.size() || code[p] != '<') continue;
+      p = skip_template_args(code, p);
+      if (p == std::string_view::npos) continue;
+      while (p < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[p])) != 0 ||
+              code[p] == '&' || code[p] == '*'))
+        ++p;
+      std::size_t q = p;
+      while (q < code.size() && ident_char(code[q])) ++q;
+      if (q > p) names.emplace(code.substr(p, q - p));
+    }
+  }
+  return names;
+}
+
+/// Range expression of a single-line range-for, or empty: text between the
+/// loop's single ':' (not part of '::') and the closing ')'.
+std::string_view range_for_expr(std::string_view line) {
+  const std::size_t f = find_word(line, "for");
+  if (f == std::string_view::npos) return {};
+  const std::size_t open = line.find('(', f);
+  if (open == std::string_view::npos) return {};
+  int depth = 0;
+  std::size_t colon = std::string_view::npos;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '(') ++depth;
+    else if (c == ')') {
+      if (--depth == 0)
+        return colon == std::string_view::npos
+                   ? std::string_view{}
+                   : line.substr(colon + 1, i - colon - 1);
+    } else if (c == ':' && depth == 1) {
+      const bool dbl = (i > 0 && line[i - 1] == ':') ||
+                       (i + 1 < line.size() && line[i + 1] == ':');
+      if (!dbl) colon = i;
+    }
+  }
+  return {};
+}
+
+/// First template argument of `map<`/`set<` at `pos` (pos at the word).
+std::string_view first_template_arg(std::string_view code, std::size_t open) {
+  int depth = 0;
+  const std::size_t start = open + 1;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '<') ++depth;
+    else if (c == '>') {
+      if (--depth == 0) return code.substr(start, i - start);
+    } else if (c == ',' && depth == 1) {
+      return code.substr(start, i - start);
+    }
+  }
+  return {};
+}
+
+bool suppressed(std::string_view raw_line, std::string_view rule) {
+  const std::size_t mark = raw_line.find("delta-lint:");
+  if (mark == std::string_view::npos) return false;
+  const std::size_t allow = raw_line.find("allow(", mark);
+  if (allow == std::string_view::npos) return false;
+  const std::size_t close = raw_line.find(')', allow);
+  if (close == std::string_view::npos) return false;
+  const std::string_view list =
+      raw_line.substr(allow + 6, close - allow - 6);
+  // Comma-separated rule list: allow(naked-new, unordered-iter).
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t end = list.find(',', start);
+    if (end == std::string_view::npos) end = list.size();
+    std::string_view item = list.substr(start, end - start);
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (item == rule) return true;
+    start = end + 1;
+  }
+  return false;
+}
+
+class Linter {
+ public:
+  Linter(const FileInfo& info, std::string_view text)
+      : info_(info),
+        raw_lines_(split_lines(text)),
+        code_(scrub(text)),
+        code_lines_(split_lines(code_)) {}
+
+  std::vector<Finding> run() {
+    check_unordered_iteration();
+    check_nondeterminism_sources();
+    check_pointer_keys();
+    check_naked_new();
+    check_own_header_first();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  void add(int line_idx, std::string rule, std::string detail) {
+    const std::string_view raw =
+        line_idx < static_cast<int>(raw_lines_.size()) ? raw_lines_[line_idx]
+                                                       : std::string_view{};
+    if (suppressed(raw, rule)) return;
+    findings_.push_back(
+        Finding{info_.path_label, line_idx + 1, std::move(rule), std::move(detail)});
+  }
+
+  void check_unordered_iteration() {
+    const auto names = unordered_names(code_);
+    if (names.empty()) return;
+    for (std::size_t li = 0; li < code_lines_.size(); ++li) {
+      const std::string_view line = code_lines_[li];
+      // Range-for over an unordered container.
+      const std::string_view range = range_for_expr(line);
+      if (!range.empty()) {
+        for (const std::string& n : names) {
+          if (find_word(range, n) != std::string_view::npos) {
+            add(static_cast<int>(li), "unordered-iter",
+                "range-for over unordered container '" + n +
+                    "'; iteration order is not deterministic — use std::map "
+                    "or a sorted vector");
+            break;
+          }
+        }
+      }
+      // Explicit iterator walks start at begin(); comparing against end()
+      // (the find-sentinel idiom) never observes the order and stays legal.
+      for (const std::string& n : names) {
+        for (std::size_t pos = find_word(line, n); pos != std::string_view::npos;
+             pos = find_word(line, n, pos + 1)) {
+          const std::size_t after = pos + n.size();
+          for (const char* it : {".begin(", ".cbegin(", ".rbegin("}) {
+            if (line.compare(after, std::string_view(it).size(), it) == 0) {
+              add(static_cast<int>(li), "unordered-iter",
+                  "iterator over unordered container '" + n +
+                      "'; iteration order is not deterministic — use std::map "
+                      "or a sorted vector");
+              pos = line.size();
+              break;
+            }
+          }
+          if (pos >= line.size()) break;
+        }
+      }
+    }
+  }
+
+  void check_nondeterminism_sources() {
+    struct Pattern {
+      const char* word;
+      bool needs_call;  ///< Only flag when followed by '('.
+      const char* what;
+    };
+    static constexpr Pattern kPatterns[] = {
+        {"rand", true, "rand() is seed-global and libc-dependent"},
+        {"srand", true, "srand() seeds global libc state"},
+        {"random_device", false, "std::random_device is nondeterministic"},
+        {"system_clock", false, "wall-clock time varies across runs"},
+        {"time", true, "time() reads the wall clock"},
+        {"clock", true, "clock() reads process time"},
+    };
+    for (std::size_t li = 0; li < code_lines_.size(); ++li) {
+      const std::string_view line = code_lines_[li];
+      for (const Pattern& p : kPatterns) {
+        for (std::size_t pos = find_word(line, p.word);
+             pos != std::string_view::npos;
+             pos = find_word(line, p.word, pos + 1)) {
+          if (p.needs_call) {
+            std::size_t after = pos + std::string_view(p.word).size();
+            while (after < line.size() && line[after] == ' ') ++after;
+            if (after >= line.size() || line[after] != '(') continue;
+          }
+          add(static_cast<int>(li), "nondet-source",
+              std::string(p.word) + ": " + p.what +
+                  "; route randomness through common/rng.hpp");
+          break;
+        }
+      }
+    }
+  }
+
+  void check_pointer_keys() {
+    for (std::size_t li = 0; li < code_lines_.size(); ++li) {
+      const std::string_view line = code_lines_[li];
+      for (const char* type : {"map", "set", "multimap", "multiset"}) {
+        for (std::size_t pos = find_word(line, type); pos != std::string_view::npos;
+             pos = find_word(line, type, pos + 1)) {
+          const std::size_t open = pos + std::string_view(type).size();
+          if (open >= line.size() || line[open] != '<') continue;
+          const std::string_view key = first_template_arg(line, open);
+          if (key.find('*') != std::string_view::npos) {
+            add(static_cast<int>(li), "ptr-key",
+                "pointer-keyed ordered container: iteration order follows "
+                "allocation addresses (ASLR), not program logic");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void check_naked_new() {
+    for (std::size_t li = 0; li < code_lines_.size(); ++li) {
+      const std::string_view line = code_lines_[li];
+      if (find_word(line, "new") != std::string_view::npos) {
+        add(static_cast<int>(li), "naked-new",
+            "naked new: prefer values, containers or std::make_unique");
+      }
+      for (std::size_t pos = find_word(line, "delete");
+           pos != std::string_view::npos;
+           pos = find_word(line, "delete", pos + 1)) {
+        // Permit `= delete;` (deleted functions) and operator delete.
+        std::size_t before = pos;
+        while (before > 0 && line[before - 1] == ' ') --before;
+        const bool deleted_fn = before > 0 && line[before - 1] == '=';
+        const bool op = before >= 8 && line.compare(before - 8, 8, "operator") == 0;
+        if (deleted_fn || op) continue;
+        add(static_cast<int>(li), "naked-new",
+            "naked delete: ownership should live in a container or smart pointer");
+        break;
+      }
+    }
+  }
+
+  void check_own_header_first() {
+    if (info_.expected_header.empty()) return;
+    const std::string want = "#include \"" + info_.expected_header + "\"";
+    for (std::size_t li = 0; li < raw_lines_.size(); ++li) {
+      std::string_view line = raw_lines_[li];
+      while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+        line.remove_prefix(1);
+      if (line.rfind("#include", 0) != 0) continue;
+      if (line.rfind(want, 0) != 0)
+        add(static_cast<int>(li), "own-header-first",
+            "first include must be the file's own header \"" +
+                info_.expected_header + "\" (proves it is self-contained)");
+      return;  // Only the first include matters.
+    }
+  }
+
+  const FileInfo& info_;
+  std::vector<std::string_view> raw_lines_;
+  std::string code_;
+  std::vector<std::string_view> code_lines_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> lint_text(const FileInfo& info, std::string_view text) {
+  return Linter(info, text).run();
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> all;
+  std::vector<fs::path> files;
+  if (fs::exists(root)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+        files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());  // Deterministic walk order.
+
+  const fs::path base = root.has_parent_path() ? root.parent_path() : root;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    FileInfo info;
+    info.path_label = fs::relative(file, base).generic_string();
+    if (file.extension() == ".cpp" || file.extension() == ".cc") {
+      fs::path header = file;
+      header.replace_extension(".hpp");
+      if (fs::exists(header))
+        info.expected_header = fs::relative(header, root).generic_string();
+    }
+    for (Finding& f : lint_text(info, buf.str())) all.push_back(std::move(f));
+  }
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return all;
+}
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " + f.detail;
+}
+
+}  // namespace delta::lint

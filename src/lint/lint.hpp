@@ -1,0 +1,63 @@
+// delta_lint: project-specific determinism and hygiene rules the compiler
+// cannot enforce.  The DELTA policy loop must be bit-reproducible from a
+// seed (the differential oracle and the cross-thread determinism check in
+// src/check depend on it), so sources of cross-run variation are banned
+// from src/ outright:
+//
+//   unordered-iter    iterating a std::unordered_map/unordered_set
+//                     (iteration order depends on hash layout and libstdc++
+//                     version; any fold over it can change results)
+//   nondet-source     rand()/srand(), std::random_device, wall-clock
+//                     (std::chrono::system_clock, time(), clock()) — all
+//                     randomness must flow through common/rng.hpp seeds
+//   ptr-key           pointer-keyed ordered containers (std::map<T*, ...>):
+//                     ordered by allocation addresses, i.e. by ASLR
+//   naked-new         naked new/delete — owning raw pointers; use values,
+//                     containers or smart pointers
+//   own-header-first  a .cpp must include its own header first, proving the
+//                     header is self-contained
+//
+// A violation can be waived on its line with the suppression comment
+//   // delta-lint: allow(<rule>)
+//
+// The scanner is lexical (comments and literals stripped, then per-line
+// token matching): fast, dependency-free, and precise enough for a
+// single-style codebase.  Run as a ctest over src/ (label `lint`) and unit
+// tested on synthetic snippets in tests/test_lint.cpp.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace delta::lint {
+
+struct Finding {
+  std::string file;  ///< Path label as reported (repo-relative for the tree walk).
+  int line = 0;      ///< 1-based.
+  std::string rule;
+  std::string detail;
+};
+
+/// Per-file context supplied by the tree walker (unit tests fabricate it).
+struct FileInfo {
+  std::string path_label;
+  /// Include path of the file's own header ("sim/mt_sim.hpp"); empty when
+  /// the file is a header or has no same-name header next to it.  Enables
+  /// the own-header-first rule.
+  std::string expected_header;
+};
+
+/// Lints one translation unit's text.  Findings are in line order.
+std::vector<Finding> lint_text(const FileInfo& info, std::string_view text);
+
+/// Walks `root` (typically <repo>/src), lints every .hpp/.cpp, and returns
+/// all findings sorted by (file, line).  Paths are reported relative to
+/// `root`'s parent so messages read "src/...".
+std::vector<Finding> lint_tree(const std::filesystem::path& root);
+
+/// "file:line: rule: detail" — the format the ctest prints per violation.
+std::string format(const Finding& f);
+
+}  // namespace delta::lint

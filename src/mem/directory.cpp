@@ -17,6 +17,7 @@ CoreId MesifDirectory::any_sharer(std::uint64_t m) {
 
 CoherenceAction MesifDirectory::on_read(CoreId core, BlockAddr block) {
   assert(core >= 0 && core < num_cores_);
+  const common::LockGuard lock(mu_);
   ++stats_.reads;
   CoherenceAction act{};
   Entry& e = dir_[block];
@@ -58,6 +59,7 @@ CoherenceAction MesifDirectory::on_read(CoreId core, BlockAddr block) {
 
 CoherenceAction MesifDirectory::on_write(CoreId core, BlockAddr block) {
   assert(core >= 0 && core < num_cores_);
+  const common::LockGuard lock(mu_);
   ++stats_.writes;
   CoherenceAction act{};
   Entry& e = dir_[block];
@@ -97,6 +99,7 @@ CoherenceAction MesifDirectory::on_write(CoreId core, BlockAddr block) {
 }
 
 void MesifDirectory::on_evict(CoreId core, BlockAddr block) {
+  const common::LockGuard lock(mu_);
   auto it = dir_.find(block);
   if (it == dir_.end()) return;
   Entry& e = it->second;
@@ -115,20 +118,24 @@ void MesifDirectory::on_evict(CoreId core, BlockAddr block) {
 }
 
 CoherenceState MesifDirectory::state(BlockAddr block) const {
+  const common::LockGuard lock(mu_);
   auto it = dir_.find(block);
   return it == dir_.end() ? CoherenceState::kInvalid : it->second.st;
 }
 
 std::uint64_t MesifDirectory::sharer_mask(BlockAddr block) const {
+  const common::LockGuard lock(mu_);
   auto it = dir_.find(block);
   return it == dir_.end() ? 0 : it->second.sharers;
 }
 
 bool MesifDirectory::is_sharer(CoreId core, BlockAddr block) const {
+  // Delegates to sharer_mask(), which takes the (non-recursive) lock.
   return (sharer_mask(block) >> core) & 1;
 }
 
 CoreId MesifDirectory::forwarder(BlockAddr block) const {
+  const common::LockGuard lock(mu_);
   auto it = dir_.find(block);
   return it == dir_.end() ? kInvalidCore : it->second.fwd;
 }

@@ -7,12 +7,22 @@
 // the page classifier decides which lines are shared, and shared lines are
 // S-NUCA-mapped and kept coherent through this directory.  Tests and the
 // `splash` estimator exercise it directly.
+//
+// Concurrency: the directory is internally synchronised — every transaction
+// and query takes the (annotated, see common/sync.hpp) directory mutex, so a
+// future parallel Sec. II-E model can drive it from several worker threads.
+// The entry table is a std::map so `for_each_entry` visits blocks in
+// address order: checker output and any derived bookkeeping stay
+// bit-identical across runs regardless of insertion history.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
+#include <utility>
+#include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace delta::mem {
@@ -42,27 +52,45 @@ class MesifDirectory {
  public:
   explicit MesifDirectory(int num_cores);
 
-  CoherenceAction on_read(CoreId core, BlockAddr block);
-  CoherenceAction on_write(CoreId core, BlockAddr block);
+  CoherenceAction on_read(CoreId core, BlockAddr block) EXCLUDES(mu_);
+  CoherenceAction on_write(CoreId core, BlockAddr block) EXCLUDES(mu_);
   /// Silent or dirty eviction of `core`'s copy.
-  void on_evict(CoreId core, BlockAddr block);
+  void on_evict(CoreId core, BlockAddr block) EXCLUDES(mu_);
 
-  CoherenceState state(BlockAddr block) const;
-  std::uint64_t sharer_mask(BlockAddr block) const;
-  bool is_sharer(CoreId core, BlockAddr block) const;
+  CoherenceState state(BlockAddr block) const EXCLUDES(mu_);
+  std::uint64_t sharer_mask(BlockAddr block) const EXCLUDES(mu_);
+  bool is_sharer(CoreId core, BlockAddr block) const EXCLUDES(mu_);
   /// MESIF forwarder for the block (kInvalidCore when none designated).
-  CoreId forwarder(BlockAddr block) const;
+  CoreId forwarder(BlockAddr block) const EXCLUDES(mu_);
 
-  std::size_t tracked_blocks() const { return dir_.size(); }
+  std::size_t tracked_blocks() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return dir_.size();
+  }
   int num_cores() const { return num_cores_; }
-  const DirectoryStats& stats() const { return stats_; }
-  void reset_stats() { stats_.reset(); }
+  DirectoryStats stats() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return stats_;
+  }
+  void reset_stats() EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    stats_.reset();
+  }
 
   /// Invariant-checker support: visits every tracked entry as
-  /// `fn(block, state, sharer_mask, forwarder)` (unordered).
+  /// `fn(block, state, sharer_mask, forwarder)` in ascending block order.
+  /// Snapshots the table under the mutex and invokes `fn` unlocked, so the
+  /// callback may query this directory (the agreement checker's residency
+  /// probe does exactly that); `fn` sees the state as of the sweep's start.
   void for_each_entry(const std::function<void(BlockAddr, CoherenceState,
-                                               std::uint64_t, CoreId)>& fn) const {
-    for (const auto& [block, e] : dir_) fn(block, e.st, e.sharers, e.fwd);
+                                               std::uint64_t, CoreId)>& fn) const
+      EXCLUDES(mu_) {
+    std::vector<std::pair<BlockAddr, Entry>> snapshot;
+    {
+      const common::LockGuard lock(mu_);
+      snapshot.assign(dir_.begin(), dir_.end());
+    }
+    for (const auto& [block, e] : snapshot) fn(block, e.st, e.sharers, e.fwd);
   }
 
  private:
@@ -77,8 +105,9 @@ class MesifDirectory {
   static CoreId any_sharer(std::uint64_t m);
 
   int num_cores_;
-  std::unordered_map<BlockAddr, Entry> dir_;
-  DirectoryStats stats_;
+  mutable common::Mutex mu_;
+  std::map<BlockAddr, Entry> dir_ GUARDED_BY(mu_);
+  DirectoryStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace delta::mem

@@ -6,12 +6,20 @@
 // overflow the newest events are dropped (the head of a run is the
 // interesting part — that is where partitions form) and the drop count is
 // reported by the exporters so truncation is never silent.
+//
+// Concurrency: record() and every reader take the annotated recorder mutex
+// (common/sync.hpp), so one recorder can be shared by concurrent emitters;
+// the enabled gate stays a relaxed atomic so a disabled recorder never
+// locks.  events() returns a snapshot by value — safe to iterate while
+// emitters are still running.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "obs/event.hpp"
 
 namespace delta::obs {
@@ -25,17 +33,24 @@ class EventRecorder {
     events_.reserve(capacity_);
   }
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
   /// Run index stamped onto subsequent events (one run per scheme).
-  void set_run(std::uint8_t run) { run_ = run; }
-  std::uint8_t run() const { return run_; }
+  void set_run(std::uint8_t run) EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    run_ = run;
+  }
+  std::uint8_t run() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return run_;
+  }
 
   void record(EventKind kind, std::uint64_t epoch, int core, int bank = -1,
               int other = -1, std::uint64_t count = 0, double a = 0.0,
-              double b = 0.0) {
-    if (!enabled_) return;
+              double b = 0.0) EXCLUDES(mu_) {
+    if (!enabled()) return;
+    const common::LockGuard lock(mu_);
     if (events_.size() >= capacity_) {
       ++dropped_;
       return;
@@ -53,28 +68,41 @@ class EventRecorder {
     events_.push_back(e);
   }
 
-  const std::vector<Event>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
+  /// Snapshot of the buffered events (copy; see the concurrency note above).
+  std::vector<Event> events() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return events_;
+  }
+  std::size_t size() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return events_.size();
+  }
   std::size_t capacity() const { return capacity_; }
-  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t dropped() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return dropped_;
+  }
 
-  std::uint64_t count_of(EventKind k) const {
+  std::uint64_t count_of(EventKind k) const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
     std::uint64_t n = 0;
     for (const Event& e : events_) n += e.kind == k ? 1 : 0;
     return n;
   }
 
-  void clear() {
+  void clear() EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
     events_.clear();
     dropped_ = 0;
   }
 
  private:
-  std::vector<Event> events_;
+  mutable common::Mutex mu_;
+  std::vector<Event> events_ GUARDED_BY(mu_);
   std::size_t capacity_;
-  std::uint64_t dropped_ = 0;
-  std::uint8_t run_ = 0;
-  bool enabled_ = true;
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  std::uint8_t run_ GUARDED_BY(mu_) = 0;
+  std::atomic<bool> enabled_{true};
 };
 
 }  // namespace delta::obs

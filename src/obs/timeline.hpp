@@ -1,11 +1,17 @@
 // Epoch time-series sampler: one row per core, MCU and chip per measured
 // epoch.  Rows are plain records appended once per epoch (never on the
 // access path), sized for the usual 10^2..10^3-epoch runs.
+//
+// Concurrency: appends and readers take the annotated sampler mutex
+// (common/sync.hpp); the cores()/mcus()/chips() accessors return snapshots
+// by value so exporters can run while another run is still sampling.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace delta::obs {
 
@@ -41,38 +47,60 @@ struct ChipSample {
 
 class TimelineSampler {
  public:
-  void set_run(std::uint32_t run) { run_ = run; }
+  void set_run(std::uint32_t run) EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    run_ = run;
+  }
 
   void add_core(std::uint64_t epoch, int core, std::string app, double ipc, int ways,
-                std::uint64_t accesses, std::uint64_t misses, double avg_latency) {
+                std::uint64_t accesses, std::uint64_t misses, double avg_latency)
+      EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
     cores_.push_back(CoreSample{run_, epoch, core, std::move(app), ipc, ways,
                                 accesses, misses, avg_latency});
   }
   void add_mcu(std::uint64_t epoch, int mcu, std::uint64_t queue_delay,
-               double utilization) {
+               double utilization) EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
     mcus_.push_back(McuSample{run_, epoch, mcu, queue_delay, utilization});
   }
   void add_chip(std::uint64_t epoch, std::uint64_t control, std::uint64_t demand,
-                std::uint64_t inval_msgs, std::uint64_t inval_lines) {
+                std::uint64_t inval_msgs, std::uint64_t inval_lines) EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
     chips_.push_back(ChipSample{run_, epoch, control, demand, inval_msgs, inval_lines});
   }
 
-  const std::vector<CoreSample>& cores() const { return cores_; }
-  const std::vector<McuSample>& mcus() const { return mcus_; }
-  const std::vector<ChipSample>& chips() const { return chips_; }
-  bool empty() const { return cores_.empty() && mcus_.empty() && chips_.empty(); }
+  /// Snapshot accessors (copies; safe while sampling continues elsewhere).
+  std::vector<CoreSample> cores() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return cores_;
+  }
+  std::vector<McuSample> mcus() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return mcus_;
+  }
+  std::vector<ChipSample> chips() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return chips_;
+  }
+  bool empty() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return cores_.empty() && mcus_.empty() && chips_.empty();
+  }
 
-  void clear() {
+  void clear() EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
     cores_.clear();
     mcus_.clear();
     chips_.clear();
   }
 
  private:
-  std::vector<CoreSample> cores_;
-  std::vector<McuSample> mcus_;
-  std::vector<ChipSample> chips_;
-  std::uint32_t run_ = 0;
+  mutable common::Mutex mu_;
+  std::vector<CoreSample> cores_ GUARDED_BY(mu_);
+  std::vector<McuSample> mcus_ GUARDED_BY(mu_);
+  std::vector<ChipSample> chips_ GUARDED_BY(mu_);
+  std::uint32_t run_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace delta::obs

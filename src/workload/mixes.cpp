@@ -54,8 +54,8 @@ std::vector<Mix> build() {
 }  // namespace
 
 const std::vector<Mix>& table4_mixes() {
-  static const auto* mixes = new std::vector<Mix>(build());
-  return *mixes;
+  static const std::vector<Mix> mixes = build();
+  return mixes;
 }
 
 const Mix& table4_mix(const std::string& name) {

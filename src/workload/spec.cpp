@@ -175,23 +175,23 @@ std::vector<AppProfile> build_profiles() {
 }
 
 const std::unordered_map<std::string_view, std::size_t>& index() {
-  static const auto* map = [] {
-    auto* m = new std::unordered_map<std::string_view, std::size_t>();
+  static const std::unordered_map<std::string_view, std::size_t> map = [] {
+    std::unordered_map<std::string_view, std::size_t> m;
     const auto& ps = spec_profiles();
     for (std::size_t i = 0; i < ps.size(); ++i) {
-      (*m)[ps[i].name] = i;
-      (*m)[ps[i].short_name] = i;
+      m[ps[i].name] = i;
+      m[ps[i].short_name] = i;
     }
     return m;
   }();
-  return *map;
+  return map;
 }
 
 }  // namespace
 
 const std::vector<AppProfile>& spec_profiles() {
-  static const auto* profiles = new std::vector<AppProfile>(build_profiles());
-  return *profiles;
+  static const std::vector<AppProfile> profiles = build_profiles();
+  return profiles;
 }
 
 const AppProfile& spec_profile(std::string_view name) {

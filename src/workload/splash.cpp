@@ -1,9 +1,8 @@
 #include "workload/splash.hpp"
 
 #include <cassert>
+#include <map>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace delta::workload {
 namespace {
@@ -59,8 +58,8 @@ std::vector<SplashProfile> build() {
 }  // namespace
 
 const std::vector<SplashProfile>& splash_profiles() {
-  static const auto* profiles = new std::vector<SplashProfile>(build());
-  return *profiles;
+  static const std::vector<SplashProfile> profiles = build();
+  return profiles;
 }
 
 const SplashProfile& splash_profile(const std::string& name) {
@@ -116,9 +115,11 @@ SplashAccess SplashGen::next() {
 SharingMeasurement measure_sharing(const SplashProfile& p, std::uint64_t accesses,
                                    std::uint64_t seed) {
   SplashGen gen(p, seed);
-  // thread-set per page / per block; 0 = untouched, -2 = multi-thread.
-  std::unordered_map<std::uint64_t, CoreId> page_toucher;
-  std::unordered_map<BlockAddr, CoreId> block_toucher;
+  // Thread-set per page / per block; 0 = untouched, -2 = multi-thread.
+  // std::map, not unordered: pct_private() below iterates, and iteration
+  // order must not depend on hash layout for cross-run determinism.
+  std::map<std::uint64_t, CoreId> page_toucher;
+  std::map<BlockAddr, CoreId> block_toucher;
   constexpr CoreId kMulti = -2;
 
   for (std::uint64_t i = 0; i < accesses; ++i) {

@@ -26,7 +26,7 @@ TEST(EventRecorder, RecordsFieldsInOrder) {
   rec.record(EventKind::kChallengeSent, 7, 3, 5, 11, 2, 1.5, -0.25);
   rec.record(EventKind::kRetreat, 9, 4);
   ASSERT_EQ(rec.size(), 2u);
-  const Event& e = rec.events()[0];
+  const Event e = rec.events()[0];  // events() returns a snapshot by value.
   EXPECT_EQ(e.kind, EventKind::kChallengeSent);
   EXPECT_EQ(e.epoch, 7u);
   EXPECT_EQ(e.run, 2);

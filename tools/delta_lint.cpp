@@ -1,0 +1,31 @@
+// delta_lint CLI: runs the project determinism/hygiene rules (src/lint)
+// over one or more source trees and prints one `file:line: rule: detail`
+// per violation.  Exit status: 0 clean, 1 violations, 2 usage error.
+//
+// Registered as the `delta_lint` ctest (label `lint`) over <repo>/src, so
+// `ctest -L lint` — and the plain tier-1 `ctest` run — fail on any
+// violation.  See docs/static-analysis.md for the rule catalogue and the
+// `// delta-lint: allow(<rule>)` suppression syntax.
+#include <cstdio>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: delta_lint <source-dir>...\n");
+    return 2;
+  }
+  std::size_t total = 0;
+  for (int i = 1; i < argc; ++i) {
+    const auto findings = delta::lint::lint_tree(argv[i]);
+    for (const auto& f : findings)
+      std::fprintf(stderr, "%s\n", delta::lint::format(f).c_str());
+    total += findings.size();
+  }
+  if (total != 0) {
+    std::fprintf(stderr, "delta_lint: %zu violation(s)\n", total);
+    return 1;
+  }
+  std::printf("delta_lint: clean\n");
+  return 0;
+}
