@@ -4,6 +4,7 @@
 // over its CBT ranges.  This harness measures (a) footprint spread across
 // chunk space and (b) end-to-end DELTA performance with and without the
 // reversal.
+#include <array>
 #include <cmath>
 #include <cstdio>
 
@@ -33,17 +34,23 @@ double range_spread_cv(const workload::AppProfile& p, bool reverse) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Ablation — CBT bank-selection bit reversal",
                       "Sec. II-C1 design-choice study (not a paper figure)");
 
+  const unsigned jobs = bench::parse_jobs(argc, argv);
+  const std::vector<const char*> spread_apps = {"mc", "om", "xa", "hm", "li", "Ge"};
+  const std::vector<std::array<double, 2>> cvs =
+      bench::parallel_map(spread_apps.size(), jobs, [&](std::size_t i) {
+        const auto& p = workload::spec_profile(spread_apps[i]);
+        return std::array<double, 2>{range_spread_cv(p, true),
+                                     range_spread_cv(p, false)};
+      });
   TextTable spread({"app", "range-CV reversed", "range-CV straight"});
-  for (const char* name : {"mc", "om", "xa", "hm", "li", "Ge"}) {
-    const auto& p = workload::spec_profile(name);
-    spread.add_row({p.name, fmt(range_spread_cv(p, true), 3),
-                    fmt(range_spread_cv(p, false), 3)});
-  }
+  for (std::size_t i = 0; i < spread_apps.size(); ++i)
+    spread.add_row({workload::spec_profile(spread_apps[i]).name, fmt(cvs[i][0], 3),
+                    fmt(cvs[i][1], 3)});
   std::printf("\nFootprint spread over contiguous CBT ranges (lower = more even):\n%s\n",
               spread.str().c_str());
 
@@ -51,13 +58,16 @@ int main() {
   cfg.warmup_epochs = 40;
   cfg.measure_epochs = 150;
   const workload::Mix mix = sim::mix_for_config(cfg, "w6");
-  const sim::MixResult snuca = sim::run_mix(cfg, mix, sim::SchemeKind::kSnuca);
-
-  const sim::MixResult reversed = sim::run_mix(cfg, mix, sim::SchemeKind::kDelta);
   sim::MachineConfig cfg_straight = cfg;
   cfg_straight.delta.reverse_chunk_bits = false;
-  const sim::MixResult straight =
-      sim::run_mix(cfg_straight, mix, sim::SchemeKind::kDelta);
+  const std::vector<sim::MixResult> runs = sim::run_sweep(
+      {{cfg, mix, sim::SchemeKind::kSnuca, {}},
+       {cfg, mix, sim::SchemeKind::kDelta, {}},
+       {cfg_straight, mix, sim::SchemeKind::kDelta, {}}},
+      jobs);
+  const sim::MixResult& snuca = runs[0];
+  const sim::MixResult& reversed = runs[1];
+  const sim::MixResult& straight = runs[2];
 
   std::printf("DELTA speedup vs S-NUCA on w6:  reversed %.3f   straight %.3f\n",
               sim::speedup(reversed, snuca), sim::speedup(straight, snuca));

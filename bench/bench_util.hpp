@@ -2,13 +2,43 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "sim/runner.hpp"
 
 namespace delta::bench {
+
+/// Parses `--jobs N` (or `--jobs=N`) from a bench's argv.  0 means "use
+/// every hardware thread" — also the default when the flag is absent, so
+/// the harnesses parallelise out of the box; `--jobs 1` recovers the
+/// serial run (whose output is byte-identical by construction).
+inline unsigned parse_jobs(int argc, char** argv, unsigned fallback = 0) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc)
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    if (std::strncmp(a, "--jobs=", 7) == 0)
+      return static_cast<unsigned>(std::strtoul(a + 7, nullptr, 10));
+  }
+  return fallback;
+}
+
+/// Index-ordered parallel map: `out[i] = fn(i)` for i in [0, n), fanned
+/// over `jobs` threads with results in pre-sized slots.  For bench loops
+/// whose per-item work is not a full mix run (splash estimates, knob
+/// sweeps with bespoke result structs).
+template <typename Fn>
+auto parallel_map(std::size_t n, unsigned jobs, Fn&& fn) {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = fn(i); }, jobs);
+  return out;
+}
 
 /// Mix names of Table IV in order.
 inline std::vector<std::string> all_mix_names() {
@@ -17,11 +47,25 @@ inline std::vector<std::string> all_mix_names() {
   return names;
 }
 
-/// Runs all four schemes on `mix_name` at the given machine size.
+/// Sweep variant: all four schemes on every named mix, fanned over `jobs`
+/// threads (0 == hardware concurrency).  Results come back in mix order
+/// and are byte-identical to looping run_comparison serially.
+inline std::vector<sim::SchemeComparison> run_comparisons(
+    const sim::MachineConfig& cfg, const std::vector<std::string>& mix_names,
+    unsigned jobs = 0) {
+  std::vector<workload::Mix> mixes;
+  mixes.reserve(mix_names.size());
+  for (const std::string& name : mix_names)
+    mixes.push_back(sim::mix_for_config(cfg, name));
+  return sim::compare_schemes_sweep(cfg, mixes, jobs);
+}
+
+/// Runs all four schemes on `mix_name` at the given machine size, the four
+/// runs fanned over `jobs` threads (default: one per scheme).
 inline sim::SchemeComparison run_comparison(const sim::MachineConfig& cfg,
-                                            const std::string& mix_name) {
-  const workload::Mix mix = sim::mix_for_config(cfg, mix_name);
-  return sim::compare_schemes(cfg, mix);
+                                            const std::string& mix_name,
+                                            unsigned jobs = 0) {
+  return run_comparisons(cfg, {mix_name}, jobs).front();
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

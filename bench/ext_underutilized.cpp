@@ -9,11 +9,12 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Extension — under-utilised chip (idle-bank fast path)",
                       "Sec. II-B1 idle-bank discussion / Sec. IV-B private critique");
 
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   sim::MachineConfig cfg = sim::config16();
   cfg.warmup_epochs = 40;
   cfg.measure_epochs = 150;
@@ -21,18 +22,26 @@ int main() {
   // Occupied tiles run cache-hungry LM apps that can exploit spare banks.
   const std::vector<std::string> hungry = {"mc", "om", "so", "xa", "bz", "sp", "de", "gc"};
 
-  TextTable table({"occupied", "snuca", "private", "delta", "delta ways/app"});
-  for (int occupied : {2, 4, 8, 16}) {
+  const std::vector<int> occupancies = {2, 4, 8, 16};
+  std::vector<sim::SweepJob> sweep;
+  for (int occupied : occupancies) {
     std::vector<std::string> apps(16, "idle");
     for (int i = 0; i < occupied; ++i)
       apps[(i * 16) / occupied] = hungry[i % hungry.size()];
     workload::Mix mix;
     mix.name = "occ" + std::to_string(occupied);
     mix.apps = apps;
+    sweep.push_back({cfg, mix, sim::SchemeKind::kSnuca, {}});
+    sweep.push_back({cfg, mix, sim::SchemeKind::kPrivate, {}});
+    sweep.push_back({cfg, mix, sim::SchemeKind::kDelta, {}});
+  }
+  const std::vector<sim::MixResult> results = sim::run_sweep(sweep, jobs);
 
-    const sim::MixResult snuca = sim::run_mix(cfg, mix, sim::SchemeKind::kSnuca);
-    const sim::MixResult priv = sim::run_mix(cfg, mix, sim::SchemeKind::kPrivate);
-    const sim::MixResult dlt = sim::run_mix(cfg, mix, sim::SchemeKind::kDelta);
+  TextTable table({"occupied", "snuca", "private", "delta", "delta ways/app"});
+  for (std::size_t m = 0; m < occupancies.size(); ++m) {
+    const sim::MixResult& snuca = results[m * 3 + 0];
+    const sim::MixResult& priv = results[m * 3 + 1];
+    const sim::MixResult& dlt = results[m * 3 + 2];
 
     double ways = 0.0;
     int n = 0;
@@ -41,10 +50,9 @@ int main() {
         ways += a.avg_ways;
         ++n;
       }
-    table.add_row({std::to_string(occupied), fmt(snuca.geomean_ipc, 3),
+    table.add_row({std::to_string(occupancies[m]), fmt(snuca.geomean_ipc, 3),
                    fmt(priv.geomean_ipc, 3), fmt(dlt.geomean_ipc, 3),
                    fmt(n ? ways / n : 0.0, 1)});
-    std::fflush(stdout);
   }
   std::printf("\nGeomean IPC of the occupied cores:\n%s\n", table.str().c_str());
   std::printf("private wastes the idle tiles' capacity (fixed 16 ways/app);\n"

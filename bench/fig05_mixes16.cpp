@@ -8,25 +8,28 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Fig. 5 — 16-core multi-programmed mixes",
                       "Sec. IV-A, Fig. 5");
 
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   const sim::MachineConfig cfg = sim::config16();
   TextTable table({"mix", "private", "ideal", "delta"});
   std::vector<double> sp_priv, sp_ideal, sp_delta;
 
-  for (const std::string& name : bench::all_mix_names()) {
-    const sim::SchemeComparison c = bench::run_comparison(cfg, name);
+  const std::vector<std::string> names = bench::all_mix_names();
+  const std::vector<sim::SchemeComparison> comps =
+      bench::run_comparisons(cfg, names, jobs);
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    const sim::SchemeComparison& c = comps[m];
     const double p = sim::speedup(c.private_llc, c.snuca);
     const double i = sim::speedup(c.ideal, c.snuca);
     const double d = sim::speedup(c.delta, c.snuca);
     sp_priv.push_back(p);
     sp_ideal.push_back(i);
     sp_delta.push_back(d);
-    table.add_row({name, fmt(p, 3), fmt(i, 3), fmt(d, 3)});
-    std::fflush(stdout);
+    table.add_row({names[m], fmt(p, 3), fmt(i, 3), fmt(d, 3)});
   }
 
   std::printf("\nSpeedup over unpartitioned S-NUCA (1.000 = parity):\n%s\n",

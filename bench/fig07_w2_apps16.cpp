@@ -9,13 +9,14 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Fig. 7 — per-application performance, w2, 16 cores",
                       "Sec. IV-A, Fig. 7");
 
   const sim::MachineConfig cfg = sim::config16();
-  const sim::SchemeComparison c = bench::run_comparison(cfg, "w2");
+  const sim::SchemeComparison c =
+      bench::run_comparison(cfg, "w2", bench::parse_jobs(argc, argv));
 
   TextTable table({"core", "app", "ideal/delta", "private/delta", "ways(ideal)", "ways(delta)"});
   for (std::size_t i = 0; i < c.delta.apps.size(); ++i) {

@@ -7,13 +7,14 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Fig. 8 — per-application performance, w3, 16 cores",
                       "Sec. IV-A, Fig. 8");
 
   const sim::MachineConfig cfg = sim::config16();
-  const sim::SchemeComparison c = bench::run_comparison(cfg, "w3");
+  const sim::SchemeComparison c =
+      bench::run_comparison(cfg, "w3", bench::parse_jobs(argc, argv));
 
   TextTable table({"core", "app", "ideal/delta", "private/delta"});
   std::vector<double> ratios;

@@ -8,18 +8,22 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Fig. 9 — 64-core multi-programmed mixes",
                       "Sec. IV-B, Fig. 9");
 
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   const sim::MachineConfig cfg = sim::config64();
   TextTable table({"mix", "private", "ideal", "delta"});
   std::vector<double> sp_priv, sp_ideal, sp_delta;
   int delta_wins = 0;
 
-  for (const std::string& name : bench::all_mix_names()) {
-    const sim::SchemeComparison c = bench::run_comparison(cfg, name);
+  const std::vector<std::string> names = bench::all_mix_names();
+  const std::vector<sim::SchemeComparison> comps =
+      bench::run_comparisons(cfg, names, jobs);
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    const sim::SchemeComparison& c = comps[m];
     const double p = sim::speedup(c.private_llc, c.snuca);
     const double i = sim::speedup(c.ideal, c.snuca);
     const double d = sim::speedup(c.delta, c.snuca);
@@ -27,8 +31,7 @@ int main() {
     sp_ideal.push_back(i);
     sp_delta.push_back(d);
     if (d >= i - 0.005) ++delta_wins;
-    table.add_row({name, fmt(p, 3), fmt(i, 3), fmt(d, 3)});
-    std::fflush(stdout);
+    table.add_row({names[m], fmt(p, 3), fmt(i, 3), fmt(d, 3)});
   }
 
   std::printf("\nSpeedup over unpartitioned S-NUCA (1.000 = parity):\n%s\n",

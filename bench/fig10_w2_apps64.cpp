@@ -8,13 +8,14 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Fig. 10 — per-application performance, w2, 64 cores",
                       "Sec. IV-B, Fig. 10");
 
   const sim::MachineConfig cfg = sim::config64();
-  const sim::SchemeComparison c = bench::run_comparison(cfg, "w2");
+  const sim::SchemeComparison c =
+      bench::run_comparison(cfg, "w2", bench::parse_jobs(argc, argv));
 
   TextTable table({"slot", "app", "ideal/delta", "private/delta"});
   for (int slot = 0; slot < 16; ++slot) {

@@ -9,13 +9,14 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Fig. 11 — per-application performance, w13, 64 cores",
                       "Sec. IV-B, Fig. 11");
 
   const sim::MachineConfig cfg = sim::config64();
-  const sim::SchemeComparison c = bench::run_comparison(cfg, "w13");
+  const sim::SchemeComparison c =
+      bench::run_comparison(cfg, "w13", bench::parse_jobs(argc, argv));
 
   TextTable table({"slot", "app", "ideal/delta", "ways(ideal)", "ways(delta)"});
   for (int slot = 0; slot < 16; ++slot) {

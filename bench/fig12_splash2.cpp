@@ -11,23 +11,27 @@
 #include "sim/splash_estimator.hpp"
 #include "workload/splash.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Fig. 12 — SPLASH2 on 16 cores (piecewise estimate)",
                       "Sec. IV-C, Fig. 12");
 
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   const sim::MachineConfig cfg = sim::config16();
   sim::SplashConfig scfg;
 
   TextTable table({"app", "priv-pages%", "delta/snuca", "private/snuca"});
   std::vector<double> delta_sp, priv_sp;
-  for (const auto& p : workload::splash_profiles()) {
-    const sim::SplashEstimate e = sim::estimate_splash(p, cfg, scfg);
+  const auto& profiles = workload::splash_profiles();
+  const std::vector<sim::SplashEstimate> estimates =
+      bench::parallel_map(profiles.size(), jobs, [&](std::size_t i) {
+        return sim::estimate_splash(profiles[i], cfg, scfg);
+      });
+  for (const sim::SplashEstimate& e : estimates) {
     delta_sp.push_back(e.delta_speedup);
     priv_sp.push_back(e.private_speedup);
     table.add_row({e.app, fmt(e.private_pages_pct, 1), fmt(e.delta_speedup, 3),
                    fmt(e.private_speedup, 3)});
-    std::fflush(stdout);
   }
   std::printf("\nSpeedup over S-NUCA:\n%s\n", table.str().c_str());
   std::printf("suite geomean: delta %.3f, private %.3f "

@@ -8,34 +8,40 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Fig. 13 — reconfiguration frequency (ideal centralized)",
                       "Sec. IV-D, Fig. 13");
 
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   sim::MachineConfig cfg = sim::config16();
   // Long enough that several application phases elapse (gcc/mcf/omnetpp
   // switch every 150-200 epochs = 15-20 ms).
   cfg.measure_epochs = 600;
 
+  sim::SchemeOptions fast;
+  fast.central_interval_epochs = 10;  // 1 ms.
+  sim::SchemeOptions slow;
+  slow.central_interval_epochs = 1000;  // 100 ms.
+
+  const std::vector<std::string> names = {"w1", "w2", "w3", "w4", "w5"};
+  std::vector<sim::SweepJob> sweep;
+  for (const std::string& name : names) {
+    const workload::Mix mix = sim::mix_for_config(cfg, name);
+    sweep.push_back({cfg, mix, sim::SchemeKind::kSnuca, {}});
+    sweep.push_back({cfg, mix, sim::SchemeKind::kIdealCentralized, fast});
+    sweep.push_back({cfg, mix, sim::SchemeKind::kIdealCentralized, slow});
+  }
+  const std::vector<sim::MixResult> results = sim::run_sweep(sweep, jobs);
+
   TextTable table({"mix", "1ms", "100ms", "1ms/100ms"});
   std::vector<double> ratios;
-  for (const std::string name : {"w1", "w2", "w3", "w4", "w5"}) {
-    const workload::Mix mix = sim::mix_for_config(cfg, name);
-    const sim::MixResult snuca = sim::run_mix(cfg, mix, sim::SchemeKind::kSnuca);
-    sim::SchemeOptions fast;
-    fast.central_interval_epochs = 10;  // 1 ms.
-    sim::SchemeOptions slow;
-    slow.central_interval_epochs = 1000;  // 100 ms.
-    const sim::MixResult fast_r =
-        sim::run_mix(cfg, mix, sim::SchemeKind::kIdealCentralized, fast);
-    const sim::MixResult slow_r =
-        sim::run_mix(cfg, mix, sim::SchemeKind::kIdealCentralized, slow);
-    const double f = sim::speedup(fast_r, snuca);
-    const double s = sim::speedup(slow_r, snuca);
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    const sim::MixResult& snuca = results[m * 3 + 0];
+    const double f = sim::speedup(results[m * 3 + 1], snuca);
+    const double s = sim::speedup(results[m * 3 + 2], snuca);
     ratios.push_back(f / s);
-    table.add_row({name, fmt(f, 3), fmt(s, 3), fmt(f / s, 3)});
-    std::fflush(stdout);
+    table.add_row({names[m], fmt(f, 3), fmt(s, 3), fmt(f / s, 3)});
   }
   std::printf("\nSpeedup over S-NUCA at each allocation frequency:\n%s\n",
               table.str().c_str());

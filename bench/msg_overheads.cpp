@@ -8,16 +8,23 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Message overheads — DELTA control traffic vs demand",
                       "Sec. IV-E2");
 
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   const sim::MachineConfig cfg = sim::config16();
+  const std::vector<std::string> names = {"w2", "w6", "w12"};
+  std::vector<sim::SweepJob> sweep;
+  for (const std::string& name : names)
+    sweep.push_back(
+        {cfg, sim::mix_for_config(cfg, name), sim::SchemeKind::kDelta, {}});
+  const std::vector<sim::MixResult> results = sim::run_sweep(sweep, jobs);
+
   TextTable table({"mix", "ctrl/1ms", "demand/1ms", "overhead%"});
-  for (const std::string name : {"w2", "w6", "w12"}) {
-    const workload::Mix mix = sim::mix_for_config(cfg, name);
-    const sim::MixResult r = sim::run_mix(cfg, mix, sim::SchemeKind::kDelta);
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    const sim::MixResult& r = results[m];
     const double intervals =
         static_cast<double>(r.measured_epochs) /
         static_cast<double>(cfg.delta.inter_interval_epochs);
@@ -26,8 +33,8 @@ int main() {
                             r.traffic.invalidation_messages()) /
         intervals;
     const double demand = static_cast<double>(r.traffic.demand_messages()) / intervals;
-    table.add_row({name, fmt(ctrl, 1), fmt(demand, 0), fmt(100.0 * ctrl / demand, 4)});
-    std::fflush(stdout);
+    table.add_row(
+        {names[m], fmt(ctrl, 1), fmt(demand, 0), fmt(100.0 * ctrl / demand, 4)});
   }
   std::printf("\nPer 1 ms reconfiguration interval:\n%s\n", table.str().c_str());
 

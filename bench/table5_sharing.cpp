@@ -9,15 +9,22 @@
 #include "bench_util.hpp"
 #include "workload/splash.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delta;
   bench::print_header("Table V — private pages/blocks per SPLASH2 app",
                       "Sec. IV-C, Table V");
 
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   TextTable table({"app", "pages% (meas)", "pages% (paper)", "blocks% (meas)",
                    "blocks% (paper)"});
-  for (const auto& p : workload::splash_profiles()) {
-    const workload::SharingMeasurement m = workload::measure_sharing(p, 800'000, 7);
+  const auto& profiles = workload::splash_profiles();
+  const std::vector<workload::SharingMeasurement> measured =
+      bench::parallel_map(profiles.size(), jobs, [&](std::size_t i) {
+        return workload::measure_sharing(profiles[i], 800'000, 7);
+      });
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& p = profiles[i];
+    const workload::SharingMeasurement& m = measured[i];
     table.add_row({p.name, fmt(m.private_pages_pct, 1),
                    fmt(p.target_private_pages_pct, 1), fmt(m.private_blocks_pct, 1),
                    (p.block_target_estimated ? "~" : "") +

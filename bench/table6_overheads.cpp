@@ -9,6 +9,7 @@
 // constant-per-tile.
 #include <chrono>
 #include <cstdio>
+#include <functional>
 
 #include "alloc/lookahead.hpp"
 #include "alloc/peekahead.hpp"

@@ -1,9 +1,13 @@
-// parallel_for: static-chunked fork-join helper over an index range.
+// parallel_for: static round-robin fork-join helper over an index range
+// (thread t handles begin+t, begin+t+threads, ...; no work stealing, no
+// shared queue).
 //
-// The experiment drivers use it to fan independent (mix, scheme) runs over
-// hardware threads.  Falls back to a plain serial loop when only one thread
-// is available or requested, which keeps single-CPU CI hosts deterministic
-// and avoids thread-creation overhead for tiny ranges.
+// The experiment drivers use it to fan independent (mix, scheme, config)
+// runs over hardware threads.  It degenerates to a plain serial loop when
+// one thread is available or requested, or when the range is too small for
+// the `grain` parameter to justify spawning workers — both paths keep
+// single-CPU CI hosts deterministic and spare tiny ranges the
+// thread-creation overhead.
 #pragma once
 
 #include <atomic>
@@ -55,6 +59,11 @@ class ErrorSlot {
 /// worker threads (0 == hardware_concurrency).  Blocks until all complete.
 /// `body` must be safe to call concurrently for distinct indices.
 ///
+/// `grain` is the minimum number of indices worth giving each worker: the
+/// pool is capped at n / grain threads, so a range smaller than `grain`
+/// runs serially on the calling thread and spawns nothing.  Use it when
+/// each body invocation is cheap relative to thread start-up.
+///
 /// Exceptions: if any invocation throws, the first exception (by completion
 /// order) is rethrown on the calling thread after every worker has joined.
 /// Remaining workers stop picking up new indices once a failure is flagged,
@@ -62,12 +71,16 @@ class ErrorSlot {
 /// exception on a std::thread would.
 inline void parallel_for(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& body,
-                         unsigned threads = 0) {
+                         unsigned threads = 0, std::size_t grain = 1) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
   unsigned hw = threads == 0 ? std::thread::hardware_concurrency() : threads;
   if (hw == 0) hw = 1;
   if (hw > n) hw = static_cast<unsigned>(n);
+  if (grain > 1) {
+    const std::size_t cap = n / grain;
+    if (hw > cap) hw = cap == 0 ? 1 : static_cast<unsigned>(cap);
+  }
   if (hw <= 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;

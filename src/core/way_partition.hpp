@@ -24,12 +24,15 @@ class WpUnit {
 
   CoreId owner(int way) const { return owners_[static_cast<std::size_t>(way)]; }
 
-  /// Insertion bitmask for `core` (bit i set when core owns way i).
+  /// Insertion bitmask for `core` (bit i set when core owns way i).  Served
+  /// from a per-core cache rebuilt lazily after ownership edits: this query
+  /// sits on the per-access enforcement path while ownership only changes
+  /// at reconfiguration granularity, so the scan must not run per access.
   mem::WayMask mask_of(CoreId core) const {
-    mem::WayMask m = 0;
-    for (int w = 0; w < ways(); ++w)
-      if (owners_[static_cast<std::size_t>(w)] == core) m |= mem::WayMask{1} << w;
-    return m;
+    if (masks_stale_) rebuild_masks();
+    if (core >= 0 && static_cast<std::size_t>(core) < mask_cache_.size())
+      return mask_cache_[static_cast<std::size_t>(core)];
+    return scan_mask_of(core);
   }
 
   int ways_of(CoreId core) const {
@@ -63,18 +66,21 @@ class WpUnit {
         ++moved;
       }
     }
+    if (moved > 0) masks_stale_ = true;
     return moved;
   }
 
   /// Hands the entire bank to `core` (idle-bank fast path).
   void assign_all(CoreId core) {
     for (auto& o : owners_) o = core;
+    masks_stale_ = true;
   }
 
   /// Directly sets the owner of one way (used by centralized enforcement
   /// when rebuilding a bank's layout wholesale).
   void set_owner(int way, CoreId core) {
     owners_[static_cast<std::size_t>(way)] = core;
+    masks_stale_ = true;
   }
 
   /// Storage cost in bits: N cores x W ways bitmask (Sec. II-C2).
@@ -83,7 +89,30 @@ class WpUnit {
   }
 
  private:
+  mem::WayMask scan_mask_of(CoreId core) const {
+    mem::WayMask m = 0;
+    for (int w = 0; w < ways(); ++w)
+      if (owners_[static_cast<std::size_t>(w)] == core) m |= mem::WayMask{1} << w;
+    return m;
+  }
+
+  void rebuild_masks() const {
+    CoreId max_owner = -1;
+    for (CoreId o : owners_) max_owner = o > max_owner ? o : max_owner;
+    mask_cache_.assign(static_cast<std::size_t>(max_owner + 1), 0);
+    for (int w = 0; w < ways(); ++w) {
+      const CoreId o = owners_[static_cast<std::size_t>(w)];
+      if (o >= 0) mask_cache_[static_cast<std::size_t>(o)] |= mem::WayMask{1} << w;
+    }
+    masks_stale_ = false;
+  }
+
   std::vector<CoreId> owners_;
+  // Lazy per-core insertion-mask cache (see mask_of).  The WpUnit lives
+  // inside one Chip, which is confined to one thread, so the mutable lazy
+  // rebuild needs no synchronisation.
+  mutable std::vector<mem::WayMask> mask_cache_;
+  mutable bool masks_stale_ = true;
 };
 
 }  // namespace delta::core

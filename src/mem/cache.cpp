@@ -6,30 +6,30 @@
 namespace delta::mem {
 
 SetAssocCache::SetAssocCache(std::uint32_t sets, int ways)
-    : sets_(sets), ways_(ways), lines_(std::size_t{sets} * ways), clocks_(sets, 0) {
+    : sets_(sets),
+      ways_(ways),
+      blocks_(std::size_t{sets} * static_cast<std::size_t>(ways), 0),
+      stamps_(std::size_t{sets} * static_cast<std::size_t>(ways), 0),
+      owners_(std::size_t{sets} * static_cast<std::size_t>(ways), kInvalidCore),
+      valid_(sets, 0),
+      clocks_(sets, 0) {
   assert(ways >= 1 && ways <= 32);
   assert(sets >= 1);
-}
-
-bool SetAssocCache::contains(std::uint32_t set, BlockAddr block) const {
-  const Way* w = set_begin(set);
-  for (int i = 0; i < ways_; ++i)
-    if (w[i].valid && w[i].block == block) return true;
-  return false;
 }
 
 AccessResult SetAssocCache::access(std::uint32_t set, BlockAddr block, CoreId owner,
                                    WayMask insert_mask, CoreId evict_pref) {
   assert(set < sets_);
-  Way* w = set_begin(set);
-  std::uint32_t& clock = clocks_[set];
+  const std::size_t base = std::size_t{set} * static_cast<std::size_t>(ways_);
+  BlockAddr* const blocks = blocks_.data() + base;
+  std::uint64_t* const stamps = stamps_.data() + base;
+  CoreId* const owners = owners_.data() + base;
 
-  for (int i = 0; i < ways_; ++i) {
-    if (w[i].valid && w[i].block == block) {
-      w[i].stamp = ++clock;
-      ++stats_.hits;
-      return AccessResult{.hit = true, .way = i};
-    }
+  if (const std::uint32_t match = match_ways(set, block); match != 0) {
+    const int i = std::countr_zero(match);
+    stamps[i] = ++clocks_[set];
+    ++stats_.hits;
+    return AccessResult{.hit = true, .way = i};
   }
 
   ++stats_.misses;
@@ -38,101 +38,76 @@ AccessResult SetAssocCache::access(std::uint32_t set, BlockAddr block, CoreId ow
 
   // Prefer an invalid eligible way; otherwise evict the eligible LRU,
   // restricted to the preferred victim owner's lines when requested.
-  int victim = -1;
-  int pref_victim = -1;
-  std::uint32_t best_stamp = std::numeric_limits<std::uint32_t>::max();
-  std::uint32_t pref_stamp = std::numeric_limits<std::uint32_t>::max();
-  for (int i = 0; i < ways_; ++i) {
-    if (!(insert_mask & (WayMask{1} << i))) continue;
-    if (!w[i].valid) {
-      victim = i;
-      pref_victim = -1;
-      break;
+  // `<=` comparisons keep the legacy tie-break: among equal stamps the
+  // highest eligible way wins.
+  const std::uint32_t vm = valid_[set];
+  int victim;
+  const std::uint32_t free = insert_mask & ~vm & full_mask(ways_);
+  if (free != 0) {
+    victim = std::countr_zero(free);
+  } else {
+    victim = -1;
+    int pref_victim = -1;
+    std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t pref_stamp = std::numeric_limits<std::uint64_t>::max();
+    for (int i = 0; i < ways_; ++i) {
+      if (!(insert_mask & (WayMask{1} << i))) continue;
+      if (stamps[i] <= best_stamp) {
+        best_stamp = stamps[i];
+        victim = i;
+      }
+      if (evict_pref != kInvalidCore && owners[i] == evict_pref &&
+          stamps[i] <= pref_stamp) {
+        pref_stamp = stamps[i];
+        pref_victim = i;
+      }
     }
-    if (w[i].stamp <= best_stamp) {
-      best_stamp = w[i].stamp;
-      victim = i;
-    }
-    if (evict_pref != kInvalidCore && w[i].owner == evict_pref &&
-        w[i].stamp <= pref_stamp) {
-      pref_stamp = w[i].stamp;
-      pref_victim = i;
-    }
-  }
-  if (pref_victim >= 0) victim = pref_victim;
-  assert(victim >= 0);
-
-  if (w[victim].valid) {
+    if (pref_victim >= 0) victim = pref_victim;
+    assert(victim >= 0);
     res.evicted = true;
-    res.victim_block = w[victim].block;
-    res.victim_owner = w[victim].owner;
+    res.victim_block = blocks[victim];
+    res.victim_owner = owners[victim];
     ++stats_.evictions;
   }
-  w[victim].block = block;
-  w[victim].owner = owner;
-  w[victim].valid = true;
-  w[victim].stamp = ++clock;
+
+  blocks[victim] = block;
+  owners[victim] = owner;
+  valid_[set] |= std::uint32_t{1} << victim;
+  stamps[victim] = ++clocks_[set];
   res.way = victim;
   return res;
 }
 
 bool SetAssocCache::touch(std::uint32_t set, BlockAddr block) {
-  Way* w = set_begin(set);
-  for (int i = 0; i < ways_; ++i) {
-    if (w[i].valid && w[i].block == block) {
-      w[i].stamp = ++clocks_[set];
-      return true;
-    }
+  if (const std::uint32_t match = match_ways(set, block); match != 0) {
+    const std::size_t base = std::size_t{set} * static_cast<std::size_t>(ways_);
+    stamps_[base + static_cast<std::size_t>(std::countr_zero(match))] = ++clocks_[set];
+    return true;
   }
   return false;
 }
 
 bool SetAssocCache::invalidate(std::uint32_t set, BlockAddr block) {
-  Way* w = set_begin(set);
-  for (int i = 0; i < ways_; ++i) {
-    if (w[i].valid && w[i].block == block) {
-      w[i].valid = false;
-      ++stats_.invalidations;
-      return true;
-    }
+  if (const std::uint32_t match = match_ways(set, block); match != 0) {
+    valid_[set] &= ~match;
+    ++stats_.invalidations;
+    return true;
   }
   return false;
 }
 
-std::uint64_t SetAssocCache::invalidate_if(
-    const std::function<bool(BlockAddr, CoreId)>& pred) {
-  std::uint64_t n = 0;
-  for (auto& w : lines_) {
-    if (w.valid && pred(w.block, w.owner)) {
-      w.valid = false;
-      ++n;
-    }
-  }
-  stats_.invalidations += n;
-  return n;
-}
-
 std::uint64_t SetAssocCache::lines_owned_by(CoreId core) const {
   std::uint64_t n = 0;
-  for (const auto& w : lines_)
-    if (w.valid && w.owner == core) ++n;
+  for_each_line([&](std::uint32_t, int, BlockAddr, CoreId o) {
+    if (o == core) ++n;
+  });
   return n;
 }
 
 std::uint64_t SetAssocCache::valid_lines() const {
   std::uint64_t n = 0;
-  for (const auto& w : lines_)
-    if (w.valid) ++n;
+  for (const std::uint32_t vm : valid_) n += static_cast<unsigned>(std::popcount(vm));
   return n;
-}
-
-void SetAssocCache::for_each_line(
-    const std::function<void(std::uint32_t, int, BlockAddr, CoreId)>& fn) const {
-  for (std::uint32_t s = 0; s < sets_; ++s) {
-    const Way* set = set_begin(s);
-    for (int w = 0; w < ways_; ++w)
-      if (set[w].valid) fn(s, w, set[w].block, set[w].owner);
-  }
 }
 
 }  // namespace delta::mem

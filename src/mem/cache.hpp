@@ -6,10 +6,20 @@
 // ways the inserting core's way-partition mask allows.  Lines remember both
 // the block address and the owning core so that DELTA's bulk-invalidation
 // unit can sweep remapped ranges without auxiliary structures.
+//
+// Layout is structure-of-arrays: per-field vectors (tags, LRU stamps,
+// owners) plus one validity bitmask per set.  The hit path is a tight
+// branch-free tag-compare loop over the contiguous tag array — the single
+// hottest loop in the simulator — and the sweep operations iterate validity
+// bits instead of testing every way.  LRU stamps and the per-set clock are
+// 64-bit so the clock cannot wrap and mis-order victims within any
+// realisable simulation length (a 32-bit stamp wraps after ~4G accesses to
+// one set).
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -48,7 +58,9 @@ class SetAssocCache {
   std::uint64_t capacity_lines() const { return std::uint64_t{sets_} * ways_; }
 
   /// Probe only: true iff (set, block) is resident.  Does not touch LRU.
-  bool contains(std::uint32_t set, BlockAddr block) const;
+  bool contains(std::uint32_t set, BlockAddr block) const {
+    return match_ways(set, block) != 0;
+  }
 
   /// Demand access: on hit, promotes the line to MRU and returns hit=true.
   /// On miss, inserts `block` for `owner`, choosing the LRU victim among
@@ -69,7 +81,26 @@ class SetAssocCache {
   bool invalidate(std::uint32_t set, BlockAddr block);
 
   /// Removes every line for which `pred(block, owner)` holds; returns count.
-  std::uint64_t invalidate_if(const std::function<bool(BlockAddr, CoreId)>& pred);
+  /// `pred` is any callable — no std::function indirection on the sweep.
+  template <typename Pred>
+  std::uint64_t invalidate_if(Pred&& pred) {
+    std::uint64_t n = 0;
+    for (std::uint32_t s = 0; s < sets_; ++s) {
+      const std::size_t base = std::size_t{s} * static_cast<std::size_t>(ways_);
+      std::uint32_t vm = valid_[s];
+      while (vm != 0) {
+        const int w = std::countr_zero(vm);
+        vm &= vm - 1;
+        const std::size_t idx = base + static_cast<std::size_t>(w);
+        if (pred(blocks_[idx], owners_[idx])) {
+          valid_[s] &= ~(std::uint32_t{1} << w);
+          ++n;
+        }
+      }
+    }
+    stats_.invalidations += n;
+    return n;
+  }
 
   /// Number of resident lines owned by `core` (O(capacity); stats/tests).
   std::uint64_t lines_owned_by(CoreId core) const;
@@ -79,31 +110,47 @@ class SetAssocCache {
 
   /// Invariant-checker support: invokes `fn(set, way, block, owner)` for
   /// every valid line, in (set, way) order.
-  void for_each_line(
-      const std::function<void(std::uint32_t, int, BlockAddr, CoreId)>& fn) const;
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (std::uint32_t s = 0; s < sets_; ++s) {
+      const std::size_t base = std::size_t{s} * static_cast<std::size_t>(ways_);
+      std::uint32_t vm = valid_[s];
+      while (vm != 0) {
+        const int w = std::countr_zero(vm);
+        vm &= vm - 1;
+        const std::size_t idx = base + static_cast<std::size_t>(w);
+        fn(s, w, blocks_[idx], owners_[idx]);
+      }
+    }
+  }
 
-  /// Reassigns ownership tags of resident lines in `from`-owned ways —
-  /// used only by tests; the real WP unit leaves resident lines untouched.
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
- private:
-  struct Way {
-    BlockAddr block = 0;
-    std::uint32_t stamp = 0;
-    CoreId owner = kInvalidCore;
-    bool valid = false;
-  };
+  /// Test hook: forces the per-set LRU clock to `value` so tests can place
+  /// stamps around historical overflow points (e.g. the 2^32 boundary a
+  /// 32-bit clock would wrap at) without issuing billions of accesses.
+  void set_clock_for_test(std::uint32_t set, std::uint64_t value) {
+    clocks_[set] = value;
+  }
 
-  Way* set_begin(std::uint32_t set) { return lines_.data() + std::size_t{set} * ways_; }
-  const Way* set_begin(std::uint32_t set) const {
-    return lines_.data() + std::size_t{set} * ways_;
+ private:
+  /// Bitmask of ways whose valid tag equals `block` (0 or one bit set).
+  std::uint32_t match_ways(std::uint32_t set, BlockAddr block) const {
+    const BlockAddr* b = blocks_.data() + std::size_t{set} * static_cast<std::size_t>(ways_);
+    std::uint32_t m = 0;
+    for (int i = 0; i < ways_; ++i)
+      m |= static_cast<std::uint32_t>(b[i] == block) << i;
+    return m & valid_[set];
   }
 
   std::uint32_t sets_;
   int ways_;
-  std::vector<Way> lines_;
-  std::vector<std::uint32_t> clocks_;  ///< Per-set LRU clock.
+  std::vector<BlockAddr> blocks_;        ///< SoA tags, set-major.
+  std::vector<std::uint64_t> stamps_;    ///< SoA LRU stamps, set-major.
+  std::vector<CoreId> owners_;           ///< SoA owner tags, set-major.
+  std::vector<std::uint32_t> valid_;     ///< Per-set validity bitmask.
+  std::vector<std::uint64_t> clocks_;    ///< Per-set LRU clock.
   CacheStats stats_;
 };
 

@@ -82,8 +82,11 @@ class MemorySystem {
 
   int num_mcus() const { return static_cast<int>(mcus_.size()); }
 
-  /// Address-interleaved controller choice.
+  /// Address-interleaved controller choice.  Power-of-two controller counts
+  /// (every Table II machine) use a mask instead of the per-access modulo.
   int mcu_for(BlockAddr block) const {
+    if (count_mask_ != 0 || mcus_.size() == 1)
+      return static_cast<int>(block & count_mask_);
     return static_cast<int>(block % static_cast<std::uint64_t>(mcus_.size()));
   }
 
@@ -104,6 +107,7 @@ class MemorySystem {
  private:
   std::vector<MemoryController> mcus_;
   std::vector<int> attach_tiles_;
+  std::uint64_t count_mask_ = 0;  ///< mcus_.size()-1 when a power of two, else 0.
 };
 
 }  // namespace delta::noc

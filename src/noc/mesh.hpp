@@ -3,11 +3,15 @@
 // routing).  The model is latency/accounting-only: the paper's evaluation
 // shows DELTA's extra traffic is ~0.1% of miss traffic, so link contention
 // is negligible and hop latency dominates.
+//
+// Hop counts and round-trip latencies are precomputed into tiles x tiles
+// lookup tables at construction (at most 64x64 entries): hops()/latency()/
+// round_trip() run on every simulated LLC access, twice per miss, and the
+// table read beats recomputing the Manhattan distance each time.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <cstdlib>
 #include <vector>
 
 #include "common/types.hpp"
@@ -28,6 +32,17 @@ class Mesh {
 
   Mesh(int width, int height) : width_(width), height_(height) {
     assert(width >= 1 && height >= 1);
+    const int n = tiles();
+    hops_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    round_trip_.resize(hops_.size());
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        const Coord ca = coord(a), cb = coord(b);
+        const int h = abs_diff(ca.x, cb.x) + abs_diff(ca.y, cb.y);
+        hops_[index(a, b)] = static_cast<std::uint16_t>(h);
+        round_trip_[index(a, b)] = 2 * static_cast<Cycles>(h) * kHopCycles;
+      }
+    }
   }
 
   int width() const { return width_; }
@@ -45,18 +60,13 @@ class Mesh {
   }
 
   /// Manhattan hop count between two tiles (XY routing path length).
-  int hops(int a, int b) const {
-    const Coord ca = coord(a), cb = coord(b);
-    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
-  }
+  int hops(int a, int b) const { return hops_[index(a, b)]; }
 
   /// One-way message latency; zero for a tile talking to itself.
-  Cycles latency(int a, int b) const {
-    return static_cast<Cycles>(hops(a, b)) * kHopCycles;
-  }
+  Cycles latency(int a, int b) const { return round_trip_[index(a, b)] / 2; }
 
   /// Round-trip latency (request + response).
-  Cycles round_trip(int a, int b) const { return 2 * latency(a, b); }
+  Cycles round_trip(int a, int b) const { return round_trip_[index(a, b)]; }
 
   /// XY-routed path from `a` to `b`, inclusive of both endpoints.
   std::vector<int> route(int a, int b) const;
@@ -71,8 +81,18 @@ class Mesh {
   double mean_hops_from(int from) const;
 
  private:
+  static int abs_diff(int a, int b) { return a < b ? b - a : a - b; }
+
+  std::size_t index(int a, int b) const {
+    assert(a >= 0 && a < tiles() && b >= 0 && b < tiles());
+    return static_cast<std::size_t>(a) * static_cast<std::size_t>(tiles()) +
+           static_cast<std::size_t>(b);
+  }
+
   int width_;
   int height_;
+  std::vector<std::uint16_t> hops_;   ///< hops_[a * tiles + b].
+  std::vector<Cycles> round_trip_;    ///< 2 * hops * kHopCycles, same layout.
 };
 
 }  // namespace delta::noc

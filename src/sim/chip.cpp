@@ -52,41 +52,60 @@ Chip::Chip(const MachineConfig& cfg, const std::vector<std::string>& apps,
   scheme_->reset(*this);
 }
 
-void Chip::do_access(CoreId c, bool measuring) {
+void Chip::do_access_batch(CoreId c, std::uint64_t count, bool measuring) {
+  // Hot path: everything loop-invariant — the slot, its generator/monitor,
+  // the scheme pointer, the fixed tag+data latency — is hoisted out of the
+  // per-access loop, and per-access statistics accumulate in locals that
+  // are folded into the slot and traffic counters once per batch.
   AppSlot& s = slots_[static_cast<std::size_t>(c)];
-  const BlockAddr block = s.gen->next();
-  s.umon->access(block);
+  workload::TraceGen* const gen = s.gen.get();
+  umon::Umon* const um = s.umon.get();
+  Scheme* const scheme = scheme_.get();
+  const Cycles fixed_lat = cfg_.llc_tag_latency + cfg_.llc_data_latency;
 
-  const BankTarget t = scheme_->map(*this, c, block);
-  const int hops = mesh_.hops(c, t.bank);
-  Cycles lat = mesh_.round_trip(c, t.bank) + cfg_.llc_tag_latency + cfg_.llc_data_latency;
-  if (hops > 0) {
-    traffic_.count(noc::MsgType::kLlcRequest);
-    traffic_.count(noc::MsgType::kLlcResponse);
+  std::uint64_t hits = 0, misses = 0, remote = 0;
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const BlockAddr block = gen->next();
+    um->access(block);
+
+    const BankTarget t = scheme->map(*this, c, block);
+    const int hops = mesh_.hops(c, t.bank);
+    Cycles lat = mesh_.round_trip(c, t.bank) + fixed_lat;
+    remote += hops > 0 ? 1 : 0;
+
+    const mem::WayMask mask = scheme->insert_mask(*this, c, t.bank);
+    const CoreId evict_pref = scheme->evict_preference(*this, c, t.bank);
+    const mem::AccessResult res =
+        bank(t.bank).access(t.set, block, c, mask, evict_pref);
+    if (res.hit) {
+      ++hits;
+    } else {
+      if (res.way >= 0) scheme->on_insertion(*this, c, t.bank, res);
+      const int mcu = memsys_.mcu_for(block);
+      const int attach = memsys_.attach_tile(mcu);
+      lat += mesh_.round_trip(t.bank, attach) + memsys_.mcu(mcu).request_latency();
+      ++misses;
+    }
+
+    // The double accumulators stay per-access in-place additions so every
+    // sum sees the same values in the same order as the historical scalar
+    // loop — floating-point results must not drift under the refactor.
+    s.epoch_lat_sum += static_cast<double>(lat);
+    if (measuring) {
+      s.lat_sum += static_cast<double>(lat);
+      s.hop_sum += static_cast<double>(hops);
+    }
   }
 
-  const mem::WayMask mask = scheme_->insert_mask(*this, c, t.bank);
-  const CoreId evict_pref = scheme_->evict_preference(*this, c, t.bank);
-  const mem::AccessResult res =
-      bank(t.bank).access(t.set, block, c, mask, evict_pref);
-  if (!res.hit && res.way >= 0) scheme_->on_insertion(*this, c, t.bank, res);
-
-  if (res.hit) {
-    if (measuring) ++s.llc_hits;
-  } else {
-    const int mcu = memsys_.mcu_for(block);
-    const int attach = memsys_.attach_tile(mcu);
-    lat += mesh_.round_trip(t.bank, attach) + memsys_.mcu(mcu).request_latency();
-    traffic_.count(noc::MsgType::kMemRequest);
-    traffic_.count(noc::MsgType::kMemResponse);
-    if (measuring) ++s.llc_misses;
-  }
-
-  ++s.epoch_accesses;
-  s.epoch_lat_sum += static_cast<double>(lat);
+  traffic_.count(noc::MsgType::kLlcRequest, remote);
+  traffic_.count(noc::MsgType::kLlcResponse, remote);
+  traffic_.count(noc::MsgType::kMemRequest, misses);
+  traffic_.count(noc::MsgType::kMemResponse, misses);
+  s.epoch_accesses += count;
   if (measuring) {
-    s.lat_sum += static_cast<double>(lat);
-    s.hop_sum += static_cast<double>(hops);
+    s.llc_hits += hits;
+    s.llc_misses += misses;
   }
 }
 
@@ -136,7 +155,7 @@ void Chip::run_one_epoch(bool measuring) {
       if (!s.active || s.epoch_accesses >= target) continue;
       const std::uint64_t batch =
           std::min<std::uint64_t>(kInterleaveBatch, target - s.epoch_accesses);
-      for (std::uint64_t i = 0; i < batch; ++i) do_access(c, measuring);
+      do_access_batch(c, batch, measuring);
       if (s.epoch_accesses < target) work_left = true;
     }
   }

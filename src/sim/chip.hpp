@@ -133,8 +133,10 @@ class Chip {
 
  private:
   void run_one_epoch(bool measuring);
-  /// Issues one access for core `c`; returns its latency in cycles.
-  void do_access(CoreId c, bool measuring);
+  /// Issues `count` back-to-back accesses for core `c` with loop-invariant
+  /// state (slot, generator, monitor, scheme dispatch target) hoisted and
+  /// statistics folded into the slot once per batch.
+  void do_access_batch(CoreId c, std::uint64_t count, bool measuring);
   void finish_epoch_accounting(bool measuring);
   /// Appends this epoch's core/MCU/chip rows to the observer's timeline.
   void sample_timeline();

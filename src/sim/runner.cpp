@@ -3,6 +3,10 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+#include "workload/spec.hpp"
+#include "workload/splash.hpp"
+
 namespace delta::sim {
 
 MixResult run_mix(const MachineConfig& cfg, const workload::Mix& mix, SchemeKind kind,
@@ -25,6 +29,43 @@ SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& 
   out.private_llc = run_mix(cfg, mix, SchemeKind::kPrivate, {}, obs, checker);
   out.ideal = run_mix(cfg, mix, SchemeKind::kIdealCentralized, {}, obs, checker);
   out.delta = run_mix(cfg, mix, SchemeKind::kDelta, {}, obs, checker);
+  return out;
+}
+
+std::vector<MixResult> run_sweep(const std::vector<SweepJob>& jobs, unsigned threads) {
+  // Warm the lazily-built profile registries before fanning out: their
+  // function-local statics would otherwise be constructed under the init
+  // guard inside the pool, serialising the first wave of workers.
+  (void)workload::spec_profiles();
+  (void)workload::splash_profiles();
+  std::vector<MixResult> out(jobs.size());
+  parallel_for(
+      0, jobs.size(),
+      [&](std::size_t i) {
+        const SweepJob& j = jobs[i];
+        out[i] = run_mix(j.cfg, j.mix, j.kind, j.opts);
+      },
+      threads);
+  return out;
+}
+
+std::vector<SchemeComparison> compare_schemes_sweep(
+    const MachineConfig& cfg, const std::vector<workload::Mix>& mixes,
+    unsigned threads) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(mixes.size() * 4);
+  for (const workload::Mix& mix : mixes)
+    for (SchemeKind kind : {SchemeKind::kSnuca, SchemeKind::kPrivate,
+                            SchemeKind::kIdealCentralized, SchemeKind::kDelta})
+      jobs.push_back(SweepJob{cfg, mix, kind, {}});
+  const std::vector<MixResult> results = run_sweep(jobs, threads);
+  std::vector<SchemeComparison> out(mixes.size());
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    out[m].snuca = results[m * 4 + 0];
+    out[m].private_llc = results[m * 4 + 1];
+    out[m].ideal = results[m * 4 + 2];
+    out[m].delta = results[m * 4 + 3];
+  }
   return out;
 }
 

@@ -37,4 +37,35 @@ SchemeComparison compare_schemes(const MachineConfig& cfg, const workload::Mix& 
 /// 64 cores per Sec. III-B).
 workload::Mix mix_for_config(const MachineConfig& cfg, const std::string& mix_name);
 
+// ---------------------------------------------------------------------------
+// Parallel experiment sweeps.
+// ---------------------------------------------------------------------------
+
+/// One independent simulation of a sweep: everything Chip construction
+/// needs, held by value so jobs share no mutable state.  Observers and
+/// epoch checkers are deliberately absent — they are cross-run mutable
+/// sinks; instrumented runs go through run_mix on one thread.
+struct SweepJob {
+  MachineConfig cfg;
+  workload::Mix mix;
+  SchemeKind kind = SchemeKind::kSnuca;
+  SchemeOptions opts;
+};
+
+/// Runs every job on its own Chip, fanned over `threads` worker threads
+/// (0 == hardware concurrency, 1 == serial on the calling thread), and
+/// returns results in job order.  Each result is written into its
+/// pre-sized slot, and every simulation is seeded independently of
+/// scheduling, so the returned vector is byte-identical for any thread
+/// count — `threads` only changes the wall-clock.
+std::vector<MixResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                 unsigned threads = 0);
+
+/// compare_schemes over many mixes at once: each (mix, scheme) pair
+/// becomes one sweep job.  Returns one comparison per input mix, in input
+/// order, with the same determinism guarantee as run_sweep.
+std::vector<SchemeComparison> compare_schemes_sweep(
+    const MachineConfig& cfg, const std::vector<workload::Mix>& mixes,
+    unsigned threads = 0);
+
 }  // namespace delta::sim

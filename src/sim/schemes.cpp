@@ -2,6 +2,7 @@
 #include "sim/scheme.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <vector>
 
@@ -25,7 +26,21 @@ class SnucaScheme final : public Scheme {
  public:
   std::string_view name() const override { return "snuca"; }
 
+  void reset(Chip& chip) override {
+    // Both Table II machines have power-of-two bank counts, so the
+    // per-access interleaving divides reduce to shifts and masks.
+    const auto n = static_cast<std::uint64_t>(chip.cores());
+    pow2_banks_ = (n & (n - 1)) == 0;
+    bank_mask_ = n - 1;
+    bank_shift_ = std::bit_width(n) - 1;
+    set_mask_ = (std::uint32_t{1} << chip.config().sets_log2) - 1;
+  }
+
   BankTarget map(const Chip& chip, CoreId, BlockAddr block) const override {
+    if (pow2_banks_) {
+      return BankTarget{static_cast<BankId>(block & bank_mask_),
+                        static_cast<std::uint32_t>(block >> bank_shift_) & set_mask_};
+    }
     const int n = chip.cores();
     return BankTarget{mem::snuca_bank(block, n),
                       mem::snuca_set_index(block, n, chip.config().sets_log2)};
@@ -39,6 +54,12 @@ class SnucaScheme final : public Scheme {
     // Nominal equal share of the unpartitioned cache.
     return chip.config().ways_per_bank;
   }
+
+ private:
+  std::uint64_t bank_mask_ = 0;
+  std::uint32_t set_mask_ = 0;
+  int bank_shift_ = 0;
+  bool pow2_banks_ = false;
 };
 
 // ---------------------------------------------------------------------------

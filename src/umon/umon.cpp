@@ -1,6 +1,7 @@
 #include "umon/umon.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace delta::umon {
@@ -9,6 +10,11 @@ Umon::Umon(UmonConfig cfg) : cfg_(cfg) {
   assert(cfg_.max_ways >= 1);
   assert(cfg_.set_dilution >= 1);
   assert(cfg_.coarse_ways >= 1);
+  set_mask_ = (std::uint32_t{1} << cfg_.sets_log2) - 1;
+  const auto dilution = static_cast<std::uint32_t>(cfg_.set_dilution);
+  dilution_pow2_ = (dilution & (dilution - 1)) == 0;
+  dilution_mask_ = dilution - 1;  // Meaningful only when dilution_pow2_.
+  dilution_shift_ = std::bit_width(dilution) - 1;
   const int sets = 1 << cfg_.sets_log2;
   // Ceiling division: monitored sets are the multiples of set_dilution in
   // [0, sets), so a dilution that does not divide the set count still needs
@@ -24,27 +30,42 @@ Umon::Umon(UmonConfig cfg) : cfg_(cfg) {
 
 void Umon::access(BlockAddr block) {
   // Dynamic set sampling: the monitored sets are those whose index is a
-  // multiple of the dilution factor.
-  const std::uint32_t set =
-      static_cast<std::uint32_t>(block & ((1u << cfg_.sets_log2) - 1));
-  if (set % static_cast<std::uint32_t>(cfg_.set_dilution) != 0) return;
+  // multiple of the dilution factor.  Power-of-two dilutions (the default
+  // 16) take a mask+shift fast path — this runs on every LLC access, and
+  // the generic divide/modulo pair dominated the monitor's cost.
+  const std::uint32_t set = static_cast<std::uint32_t>(block) & set_mask_;
+  std::uint32_t stack_idx;
+  if (dilution_pow2_) {
+    if ((set & dilution_mask_) != 0) return;
+    stack_idx = set >> dilution_shift_;
+  } else {
+    const auto dilution = static_cast<std::uint32_t>(cfg_.set_dilution);
+    if (set % dilution != 0) return;
+    stack_idx = set / dilution;
+  }
 
   ++sampled_accesses_;
-  auto& stack = stacks_[set / static_cast<std::uint32_t>(cfg_.set_dilution)];
+  auto& stack = stacks_[stack_idx];
 
   auto it = std::find(stack.begin(), stack.end(), block);
   if (it != stack.end()) {
     const int dist = static_cast<int>(it - stack.begin());
     hit_ctr_[static_cast<std::size_t>(dist)] += 1.0;
     coarse_ctr_[static_cast<std::size_t>(dist / cfg_.coarse_ways)] += 1.0;
-    stack.erase(it);
-    stack.insert(stack.begin(), block);
+    // Move-to-front as a single rotate: same final order as erase+insert
+    // but one pass over [begin, it] instead of two full memmoves.
+    std::rotate(stack.begin(), it, it + 1);
     return;
   }
 
   sampled_misses_ += 1.0;
-  stack.insert(stack.begin(), block);
-  if (static_cast<int>(stack.size()) > cfg_.max_ways) stack.pop_back();
+  if (static_cast<int>(stack.size()) >= cfg_.max_ways) {
+    // Full stack: recycle the LRU slot in place rather than insert+pop.
+    std::rotate(stack.begin(), stack.end() - 1, stack.end());
+    stack.front() = block;
+  } else {
+    stack.insert(stack.begin(), block);
+  }
 }
 
 double Umon::hits_between(int lo_ways, int hi_ways) const {

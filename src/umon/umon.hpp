@@ -78,6 +78,12 @@ class Umon {
 
   UmonConfig cfg_;
   int num_stacks_ = 0;
+  // Precomputed access() fast path: set extraction mask plus a mask+shift
+  // pair replacing the divide/modulo when set_dilution is a power of two.
+  std::uint32_t set_mask_ = 0;
+  std::uint32_t dilution_mask_ = 0;
+  int dilution_shift_ = 0;
+  bool dilution_pow2_ = false;
   /// One LRU stack per monitored set; front = MRU.  Linear scan is fine:
   /// stacks are short and only 1/set_dilution accesses reach them.
   std::vector<std::vector<BlockAddr>> stacks_;

@@ -70,12 +70,14 @@ BlockAddr TraceGen::next() {
       return rs.base_block + rng_.below(rs.lines);
     case RingKind::kLoop: {
       const BlockAddr b = rs.base_block + rs.pos;
-      rs.pos = (rs.pos + 1) % rs.lines;
+      // pos < lines always holds, so the wrap needs a compare, not a modulo
+      // (this advance runs for every generated loop/stream access).
+      if (++rs.pos == rs.lines) rs.pos = 0;
       return b;
     }
     case RingKind::kStream: {
       const BlockAddr b = rs.base_block + rs.pos;
-      rs.pos = (rs.pos + 1) % rs.lines;
+      if (++rs.pos == rs.lines) rs.pos = 0;
       return b;
     }
   }

@@ -26,6 +26,25 @@ TEST(Cache, LruEvictionOrder) {
   EXPECT_TRUE(c.contains(0, 3));
 }
 
+TEST(Cache, LruSurvivesUint32ClockWrap) {
+  // The per-set LRU clock is 64-bit precisely so a long run cannot wrap a
+  // 32-bit stamp and make an old line look recent.  Park the clock just
+  // below 2^32 and push accesses across the boundary: recency ordering
+  // must stay correct where 32-bit stamps would have wrapped to ~0.
+  SetAssocCache c(1, 2);
+  c.set_clock_for_test(0, (std::uint64_t{1} << 32) - 2);
+  c.access(0, 1, 0, full_mask(2));  // stamp 2^32 - 1
+  c.access(0, 2, 0, full_mask(2));  // stamp 2^32 (wraps to 0 in 32 bits)
+  // With a wrapped 32-bit stamp, block 2 would be "older" than block 1 and
+  // get evicted here; the 64-bit clock must evict the true LRU, block 1.
+  const auto res = c.access(0, 3, 0, full_mask(2));
+  EXPECT_TRUE(res.evicted);
+  EXPECT_EQ(res.victim_block, 1u);
+  EXPECT_FALSE(c.contains(0, 1));
+  EXPECT_TRUE(c.contains(0, 2));
+  EXPECT_TRUE(c.contains(0, 3));
+}
+
 TEST(Cache, HitPromotesToMru) {
   SetAssocCache c(1, 3);
   c.access(0, 1, 0, full_mask(3));

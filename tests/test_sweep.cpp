@@ -1,0 +1,133 @@
+// Parallel-sweep determinism and SoA-cache equivalence.
+//
+// Two guarantees this file pins down:
+//   * run_sweep / compare_schemes_sweep produce byte-identical results for
+//     any job count — parallelism only changes the wall-clock (the whole
+//     point of pre-sized result slots + per-run Chip isolation);
+//   * the structure-of-arrays SetAssocCache makes exactly the decisions of
+//     the pre-rewrite array-of-structs engine (bench/legacy_cache.hpp is
+//     the frozen oracle) on randomized traces exercising way masks,
+//     eviction preferences, touches and invalidations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "legacy_cache.hpp"
+#include "mem/cache.hpp"
+#include "mem/replacement.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace delta {
+namespace {
+
+sim::MachineConfig quick16() {
+  sim::MachineConfig cfg = sim::config16();
+  cfg.warmup_epochs = 10;
+  cfg.measure_epochs = 30;
+  return cfg;
+}
+
+std::string summary_of(const std::vector<sim::SchemeComparison>& comps) {
+  std::vector<sim::MixResult> flat;
+  for (const auto& c : comps) {
+    flat.push_back(c.snuca);
+    flat.push_back(c.private_llc);
+    flat.push_back(c.ideal);
+    flat.push_back(c.delta);
+  }
+  return sim::json_summary(flat);
+}
+
+TEST(Sweep, ParallelJobsBitIdenticalToSerial) {
+  const sim::MachineConfig cfg = quick16();
+  const std::vector<workload::Mix> mixes = {sim::mix_for_config(cfg, "w2"),
+                                            sim::mix_for_config(cfg, "w6")};
+  const auto serial = sim::compare_schemes_sweep(cfg, mixes, 1);
+  const auto parallel = sim::compare_schemes_sweep(cfg, mixes, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  // Byte-level comparison via the full JSON summary: every per-app metric,
+  // traffic counter and control-message count must match exactly.
+  EXPECT_EQ(summary_of(serial), summary_of(parallel));
+}
+
+TEST(Sweep, RunSweepMatchesRunMixInJobOrder) {
+  const sim::MachineConfig cfg = quick16();
+  const workload::Mix mix = sim::mix_for_config(cfg, "w3");
+  std::vector<sim::SweepJob> jobs;
+  for (auto kind : {sim::SchemeKind::kDelta, sim::SchemeKind::kSnuca})
+    jobs.push_back({cfg, mix, kind, {}});
+  const std::vector<sim::MixResult> swept = sim::run_sweep(jobs, 2);
+  ASSERT_EQ(swept.size(), 2u);
+  const sim::MixResult direct_delta = sim::run_mix(cfg, mix, sim::SchemeKind::kDelta);
+  const sim::MixResult direct_snuca = sim::run_mix(cfg, mix, sim::SchemeKind::kSnuca);
+  EXPECT_EQ(sim::json_summary({&swept[0], 1}), sim::json_summary({&direct_delta, 1}));
+  EXPECT_EQ(sim::json_summary({&swept[1], 1}), sim::json_summary({&direct_snuca, 1}));
+}
+
+TEST(Sweep, EmptyAndSingleJobEdgeCases) {
+  EXPECT_TRUE(sim::run_sweep({}, 4).empty());
+  const sim::MachineConfig cfg = quick16();
+  const workload::Mix mix = sim::mix_for_config(cfg, "w1");
+  const auto one = sim::run_sweep({{cfg, mix, sim::SchemeKind::kPrivate, {}}}, 8);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_GT(one[0].geomean_ipc, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// SoA cache vs the frozen pre-rewrite oracle.
+// ---------------------------------------------------------------------------
+
+/// Replays a randomized trace against both engines, asserting identical
+/// per-access decisions.  `footprint_ways` scales the working set relative
+/// to capacity; `masked` mixes in partial insertion masks and eviction
+/// preferences like the partitioned schemes do.
+void replay_and_compare(std::uint64_t seed, int footprint_ways, bool masked) {
+  constexpr std::uint32_t kSets = 64;
+  constexpr int kWays = 8;
+  mem::SetAssocCache soa(kSets, kWays);
+  bench::legacy::SetAssocCache aos(kSets, kWays);
+  Rng rng(seed);
+  for (int i = 0; i < 200'000; ++i) {
+    const BlockAddr block =
+        rng.below(std::uint64_t{kSets} * static_cast<std::uint64_t>(footprint_ways));
+    const std::uint32_t set = static_cast<std::uint32_t>(block) & (kSets - 1);
+    const CoreId owner = static_cast<CoreId>(rng.below(4));
+    mem::WayMask mask = mem::full_mask(kWays);
+    CoreId pref = kInvalidCore;
+    if (masked) {
+      // Random (sometimes empty -> bypass) mask; occasional victim owner.
+      mask = static_cast<mem::WayMask>(rng.below(1u << kWays));
+      if (rng.below(4) == 0) pref = static_cast<CoreId>(rng.below(4));
+    }
+    const std::uint64_t op = rng.below(16);
+    if (op == 14) {
+      EXPECT_EQ(soa.touch(set, block), aos.touch(set, block));
+      continue;
+    }
+    if (op == 15) {
+      EXPECT_EQ(soa.invalidate(set, block), aos.invalidate(set, block));
+      continue;
+    }
+    const mem::AccessResult a = soa.access(set, block, owner, mask, pref);
+    const mem::AccessResult b = aos.access(set, block, owner, mask, pref);
+    ASSERT_EQ(a.hit, b.hit) << "access " << i;
+    ASSERT_EQ(a.way, b.way) << "access " << i;
+    ASSERT_EQ(a.evicted, b.evicted) << "access " << i;
+    if (a.evicted) {
+      ASSERT_EQ(a.victim_block, b.victim_block) << "access " << i;
+      ASSERT_EQ(a.victim_owner, b.victim_owner) << "access " << i;
+    }
+  }
+  EXPECT_EQ(soa.stats().hits, aos.hits());
+  EXPECT_EQ(soa.stats().misses, aos.misses());
+}
+
+TEST(CacheEquivalence, HitHeavyFullMask) { replay_and_compare(1, 6, false); }
+TEST(CacheEquivalence, ThrashingFullMask) { replay_and_compare(2, 16, false); }
+TEST(CacheEquivalence, MaskedAndPreferredVictims) { replay_and_compare(3, 12, true); }
+TEST(CacheEquivalence, MaskedHitHeavy) { replay_and_compare(4, 5, true); }
+
+}  // namespace
+}  // namespace delta

@@ -92,7 +92,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> known = {
       "mix",        "apps",         "scheme", "cores",     "epochs",
       "warmup",     "seed",         "csv",    "list",      "central-ms",
-      "trace-out",  "timeline-csv", "json",   "obs-level", "help",
+      "trace-out",  "timeline-csv", "json",   "obs-level", "jobs",
+      "help",
   };
   if (!args.unknown_flags(known).empty() || args.has("help")) {
     for (const auto& f : args.unknown_flags(known))
@@ -104,7 +105,9 @@ int main(int argc, char** argv) {
                  "[--seed S] [--central-ms M] [--csv] [--list]\n"
                  "                 [--trace-out trace.json] [--timeline-csv ts.csv]\n"
                  "                 [--json [summary.json]] "
-                 "[--obs-level off|summary|timeline|full]\n");
+                 "[--obs-level off|summary|timeline|full]\n"
+                 "                 [--jobs N]   (parallel scheme fan-out for "
+                 "--scheme all; 0 = all hw threads)\n");
     return args.has("help") ? 0 : 1;
   }
   if (args.has("list")) {
@@ -156,8 +159,34 @@ int main(int argc, char** argv) {
   std::FILE* text_out = json_stdout ? stderr : stdout;
   if (csv) std::printf("%s\n", sim::csv_header().c_str());
 
+  // --jobs N fans the four --scheme all runs over N threads (0 = every
+  // hardware thread); results are byte-identical to the serial default.
+  // Observer-attached runs stay serial: the trace is one mutable sink.
+  const unsigned jobs =
+      static_cast<unsigned>(args.get_int("jobs", 1));
+  if (args.has("jobs") && wants_obs) {
+    std::fprintf(stderr,
+                 "--jobs is ignored with observability outputs (single "
+                 "trace sink); running serially\n");
+  }
+
   std::vector<sim::MixResult> results;
-  if (scheme == "all") {
+  if (scheme == "all" && jobs != 1 && !wants_obs) {
+    const std::vector<sim::SchemeComparison> comps =
+        sim::compare_schemes_sweep(cfg, {mix}, jobs);
+    const sim::SchemeComparison& c = comps.front();
+    print_result(c.snuca, &c.snuca, csv, text_out);
+    print_result(c.private_llc, &c.snuca, csv, text_out);
+    print_result(c.ideal, &c.snuca, csv, text_out);
+    print_result(c.delta, &c.snuca, csv, text_out);
+    if (!csv) {
+      std::fprintf(text_out,
+                   "\nANTT/STP vs private: ideal %.3f/%.2f, delta %.3f/%.2f\n",
+                   sim::antt(c.ideal, c.private_llc), sim::stp(c.ideal, c.private_llc),
+                   sim::antt(c.delta, c.private_llc), sim::stp(c.delta, c.private_llc));
+    }
+    results = {c.snuca, c.private_llc, c.ideal, c.delta};
+  } else if (scheme == "all") {
     const sim::SchemeComparison c = sim::compare_schemes(cfg, mix, observer.get());
     print_result(c.snuca, &c.snuca, csv, text_out);
     print_result(c.private_llc, &c.snuca, csv, text_out);
