@@ -17,6 +17,11 @@ namespace delta::bench {
 /// every hardware thread" — also the default when the flag is absent, so
 /// the harnesses parallelise out of the box; `--jobs 1` recovers the
 /// serial run (whose output is byte-identical by construction).
+///
+/// Precedence: explicit flag > DELTA_JOBS environment variable > fallback.
+/// The env override is the one shared knob CI (and anyone scripting every
+/// fig*/table* harness at once) uses to pin the thread count without
+/// editing each invocation.
 inline unsigned parse_jobs(int argc, char** argv, unsigned fallback = 0) {
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -25,6 +30,8 @@ inline unsigned parse_jobs(int argc, char** argv, unsigned fallback = 0) {
     if (std::strncmp(a, "--jobs=", 7) == 0)
       return static_cast<unsigned>(std::strtoul(a + 7, nullptr, 10));
   }
+  if (const char* env = std::getenv("DELTA_JOBS"); env != nullptr && *env != '\0')
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
   return fallback;
 }
 

@@ -11,6 +11,10 @@
 //     vs --jobs N, with a byte-identity check on the results.  On a 1-CPU
 //     host the ratio is ~1 by construction; `hw_threads` is recorded so
 //     consumers can tell "no speedup available" from "regression".
+//   * intra         — ONE 64-tile delta run at --intra-jobs 1/2/4: the
+//     scaling curve of the bank-sharded epoch engine, with the same
+//     byte-identity requirement (and the same 1-CPU caveat; divergence
+//     fails regardless of host, speedup is informational).
 //
 // Usage: micro_throughput [--out BENCH_throughput.json] [--jobs N]
 //                         [--reps N] [--quick]
@@ -203,10 +207,50 @@ int main(int argc, char** argv) {
               "results %s\n", serial_s, jobs, par_s, sweep_speedup,
               identical ? "identical" : "DIVERGENT");
 
+  // ---- Intra-run engine: one 64-tile delta run, sharded epochs. ----
+  // The sweep above parallelises *across* runs; this curve is the payoff
+  // for the single long run a sweep cannot split.  w13 on the 64-tile
+  // machine keeps all 64 banks busy so phase 2 has real parallelism.
+  sim::MachineConfig intra_cfg = sim::config64();
+  intra_cfg.warmup_epochs = 10;
+  intra_cfg.measure_epochs = quick ? 10 : 30;
+  const workload::Mix intra_mix = sim::mix_for_config(intra_cfg, "w13");
+  struct IntraPoint {
+    int jobs;
+    double seconds = 0.0;
+    std::string summary;
+  };
+  std::vector<IntraPoint> intra_points;
+  for (const int ij : {1, 2, 4}) {
+    sim::MachineConfig c = intra_cfg;
+    c.intra_jobs = ij;
+    IntraPoint p;
+    p.jobs = ij;
+    sim::run_mix(c, intra_mix, sim::SchemeKind::kDelta);  // Warm.
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      const sim::MixResult res = sim::run_mix(c, intra_mix, sim::SchemeKind::kDelta);
+      const double dt = seconds_since(t0);
+      if (dt < best) best = dt;
+      p.summary = sim::json_summary({&res, 1});
+    }
+    p.seconds = best;
+    intra_points.push_back(std::move(p));
+  }
+  bool intra_identical = true;
+  for (const IntraPoint& p : intra_points)
+    intra_identical &= p.summary == intra_points.front().summary;
+  for (const IntraPoint& p : intra_points)
+    std::printf("intra (64-tile delta): --intra-jobs %d  %.2fs  speedup %.2fx\n",
+                p.jobs, p.seconds,
+                p.seconds > 0.0 ? intra_points.front().seconds / p.seconds : 0.0);
+  std::printf("intra results %s\n", intra_identical ? "identical" : "DIVERGENT");
+
   // ---- BENCH_throughput.json. ----
   std::string j;
   j += "{\n";
-  j += "  \"schema\": \"delta-bench-throughput-v1\",\n";
+  j += "  \"schema\": \"delta-bench-throughput-v2\",\n";
   j += "  \"hw_threads\": " +
        obs::json_num(static_cast<double>(std::thread::hardware_concurrency())) + ",\n";
   j += "  \"jobs\": " + obs::json_num(static_cast<double>(jobs)) + ",\n";
@@ -242,6 +286,24 @@ int main(int argc, char** argv) {
   j += "    \"parallel_seconds\": " + obs::json_num(par_s) + ",\n";
   j += "    \"speedup\": " + obs::json_num(sweep_speedup) + ",\n";
   j += std::string("    \"byte_identical\": ") + (identical ? "true" : "false") + "\n";
+  j += "  },\n";
+  j += "  \"intra\": {\n";
+  j += "    \"machine\": \"64-tile\",\n";
+  j += "    \"scheme\": \"delta\",\n";
+  j += "    \"points\": [\n";
+  for (std::size_t i = 0; i < intra_points.size(); ++i) {
+    const IntraPoint& p = intra_points[i];
+    j += "      { \"intra_jobs\": " + obs::json_num(static_cast<double>(p.jobs)) +
+         ", \"seconds\": " + obs::json_num(p.seconds) +
+         ", \"speedup_vs_serial\": " +
+         obs::json_num(p.seconds > 0.0 ? intra_points.front().seconds / p.seconds
+                                       : 0.0) +
+         " }";
+    j += i + 1 < intra_points.size() ? ",\n" : "\n";
+  }
+  j += "    ],\n";
+  j += std::string("    \"byte_identical\": ") +
+       (intra_identical ? "true" : "false") + "\n";
   j += "  }\n";
   j += "}\n";
   if (!obs::write_text_file(out_path, j)) {
@@ -249,7 +311,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out_path.c_str());
-  if (!identical) return 2;
+  if (!identical || !intra_identical) return 2;
   // Loose regression floor: the SoA kernel falling below 70% of the frozen
   // legacy engine means the hot-path rewrite has been badly regressed (the
   // slack absorbs shared-runner noise; healthy ratios sit well above 1).

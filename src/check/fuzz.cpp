@@ -26,6 +26,7 @@ sim::MachineConfig draw_config(Rng& rng, std::uint64_t seed,
   std::uint64_t sm = seed;
   cfg.seed = splitmix64(sm);
   cfg.lockstep_accesses = opt.lockstep;
+  cfg.intra_jobs = opt.intra_jobs;
   cfg.measured_mlp = rng.chance(0.5);
 
   constexpr std::array<int, 3> kInter = {5, 10, 20};

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <thread>
@@ -105,5 +107,146 @@ inline void parallel_for(std::size_t begin, std::size_t end,
   for (auto& th : pool) th.join();
   if (std::exception_ptr e = error.take()) std::rethrow_exception(e);
 }
+
+/// Contiguous slice [begin, end) of an n-element range for worker `part` of
+/// `parts`.  The first n % parts workers get one extra element, so any two
+/// calls with the same (n, parts) tile the range exactly — the static
+/// scheduling used by the intra-run epoch engine, where *which* worker runs
+/// a shard must not affect results, only wall-clock.
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+inline IndexRange static_partition(std::size_t n, unsigned parts,
+                                   unsigned part) {
+  if (parts == 0) parts = 1;
+  const std::size_t base = n / parts;
+  const std::size_t rem = n % parts;
+  const std::size_t extra = part < rem ? part : rem;
+  const std::size_t lo = static_cast<std::size_t>(part) * base + extra;
+  return {lo, lo + base + (part < rem ? 1 : 0)};
+}
+
+/// Generation-counted reusable barrier: `parties` threads block in
+/// arrive_and_wait() until all have arrived, then all release together and
+/// the barrier resets for the next cycle.  The mutex hand-off at each
+/// release is also the memory fence the worker pool relies on: writes made
+/// before a thread arrives are visible to every thread after release.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(unsigned parties) : parties_(parties == 0 ? 1 : parties) {}
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  void arrive_and_wait() EXCLUDES(mu_) {
+    common::UniqueLock lock(mu_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    while (generation_ == gen) cv_.wait(lock);
+  }
+
+ private:
+  common::Mutex mu_;
+  std::condition_variable_any cv_;
+  const unsigned parties_;
+  unsigned arrived_ GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+};
+
+/// Persistent fork-join pool for repeated fine-grained parallel sections.
+///
+/// `parallel_for` spawns and joins threads per call, which is fine for
+/// sweep-granularity work (one job = a whole simulation) but far too
+/// expensive inside an epoch loop that forks thousands of times per run.
+/// WorkerPool keeps `parties - 1` threads parked on a barrier between
+/// sections; `run(fn)` wakes them, executes `fn(worker)` on every party
+/// (the calling thread doubles as worker 0), and returns once all are done.
+///
+/// Exceptions thrown by `fn` are captured per worker and rethrown on the
+/// caller in worker-index order — deterministic, unlike first-completion
+/// order.  `parties() == 1` degenerates to a plain inline call with no
+/// threads and no synchronization.
+///
+/// A pool instance may only be driven from one thread at a time; the
+/// intra-run engine owns one pool per Chip, matching that contract.
+class WorkerPool {
+ public:
+  explicit WorkerPool(unsigned parties)
+      : parties_(parties == 0 ? 1 : parties),
+        start_(parties_ == 0 ? 1 : parties_),
+        done_(parties_ == 0 ? 1 : parties_),
+        errors_(parties_ == 0 ? 1 : parties_) {
+    threads_.reserve(parties_ - 1);
+    for (unsigned w = 1; w < parties_; ++w)
+      threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    if (parties_ > 1) {
+      stop_ = true;  // Published to workers by the start barrier's mutex.
+      start_.arrive_and_wait();
+      for (auto& th : threads_) th.join();
+    }
+  }
+
+  unsigned parties() const { return parties_; }
+
+  void run(const std::function<void(unsigned)>& fn) {
+    if (parties_ == 1) {
+      fn(0);
+      return;
+    }
+    fn_ = &fn;
+    start_.arrive_and_wait();
+    invoke(0);
+    done_.arrive_and_wait();
+    fn_ = nullptr;
+    for (unsigned w = 0; w < parties_; ++w) {
+      if (errors_[w]) {
+        const std::exception_ptr e = errors_[w];
+        for (auto& slot : errors_) slot = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+  }
+
+ private:
+  void worker_loop(unsigned w) {
+    for (;;) {
+      start_.arrive_and_wait();
+      if (stop_) return;
+      invoke(w);
+      done_.arrive_and_wait();
+    }
+  }
+
+  void invoke(unsigned w) {
+    try {
+      (*fn_)(w);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(w)] = std::current_exception();
+    }
+  }
+
+  const unsigned parties_;
+  CyclicBarrier start_;
+  CyclicBarrier done_;
+  // Both written by the caller strictly before a start-barrier arrival and
+  // read by workers strictly after release, so the barrier orders them.
+  const std::function<void(unsigned)>* fn_ = nullptr;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  // Slot w: written only by worker w.
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace delta

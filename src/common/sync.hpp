@@ -80,4 +80,26 @@ class SCOPED_CAPABILITY LockGuard {
   Mutex& mu_;
 };
 
+/// Condition-variable-compatible lock over common::Mutex: satisfies
+/// BasicLockable so std::condition_variable_any can release/reacquire it
+/// around a wait.  To the analysis it behaves like LockGuard — the
+/// capability is held from construction to destruction; the transient
+/// unlock inside a wait is invisible, which is sound because the capability
+/// is always held again whenever the waiting code observes guarded state.
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~UniqueLock() RELEASE() { mu_.unlock(); }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  // BasicLockable surface for condition_variable_any only; hidden from the
+  // analysis so the wait's unlock/relock does not confuse it.
+  void lock() NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
 }  // namespace delta::common

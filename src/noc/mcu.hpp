@@ -34,6 +34,20 @@ class MemoryController {
     return cfg_.idle_latency + queue_delay_;
   }
 
+  /// The latency request_latency() would charge, without counting a
+  /// request.  Constant within an epoch (queue_delay_ only moves at
+  /// end_epoch), which is what lets the intra-run engine compute miss
+  /// latencies from per-bank workers and fold the request counts in later.
+  Cycles current_request_latency() const { return cfg_.idle_latency + queue_delay_; }
+
+  /// Bulk-counts `n` requests in the current epoch; paired with
+  /// current_request_latency() it reproduces exactly what `n` serial
+  /// request_latency() calls would have done.
+  void add_requests(std::uint64_t n) {
+    epoch_requests_ += n;
+    total_requests_ += n;
+  }
+
   /// Closes the epoch of length `epoch_cycles` and updates the queueing
   /// delay estimate used for the next epoch.
   void end_epoch(Cycles epoch_cycles) {

@@ -69,6 +69,20 @@ class Observer {
   /// per-event cost of a disabled trace is one pointer test.
   EventRecorder* event_sink() { return events_enabled() ? &events_ : nullptr; }
 
+  /// Appends `other`'s runs (names, events, timeline samples) after this
+  /// observer's, re-stamping run indices past the existing ones.  Merging
+  /// per-job observers in job order reproduces exactly the trace a serial
+  /// multi-run execution would have built: nothing in a trace carries wall
+  /// time, so ordering is run-major by construction either way.  The two
+  /// observers should share a level; events disabled on either side simply
+  /// contribute nothing.
+  void merge_from(const Observer& other) {
+    const auto offset = static_cast<std::uint32_t>(run_names_.size());
+    for (const std::string& n : other.run_names()) run_names_.push_back(n);
+    events_.append_from(other.events(), static_cast<std::uint8_t>(offset));
+    timeline_.append_from(other.timeline(), offset);
+  }
+
  private:
   ObsLevel level_;
   EventRecorder events_;

@@ -90,6 +90,27 @@ class EventRecorder {
     return n;
   }
 
+  /// Appends a snapshot of `other`'s events with run indices shifted by
+  /// `run_offset` (merging per-job recorders back into one trace in job
+  /// order).  Capacity overflow drops the newest events exactly like
+  /// record(), and `other`'s own drop count carries over, so truncation
+  /// stays visible in the merged exporters.
+  void append_from(const EventRecorder& other, std::uint8_t run_offset)
+      EXCLUDES(mu_) {
+    const std::vector<Event> src = other.events();
+    const std::uint64_t src_dropped = other.dropped();
+    const common::LockGuard lock(mu_);
+    for (Event e : src) {
+      if (events_.size() >= capacity_) {
+        ++dropped_;
+        continue;
+      }
+      e.run = static_cast<std::uint8_t>(e.run + run_offset);
+      events_.push_back(e);
+    }
+    dropped_ += src_dropped;
+  }
+
   void clear() EXCLUDES(mu_) {
     const common::LockGuard lock(mu_);
     events_.clear();

@@ -88,6 +88,29 @@ class TimelineSampler {
     return cores_.empty() && mcus_.empty() && chips_.empty();
   }
 
+  /// Appends a snapshot of `other`'s samples with run indices shifted by
+  /// `run_offset` (merging per-job samplers back into one timeline in job
+  /// order).
+  void append_from(const TimelineSampler& other, std::uint32_t run_offset)
+      EXCLUDES(mu_) {
+    const std::vector<CoreSample> src_cores = other.cores();
+    const std::vector<McuSample> src_mcus = other.mcus();
+    const std::vector<ChipSample> src_chips = other.chips();
+    const common::LockGuard lock(mu_);
+    for (CoreSample s : src_cores) {
+      s.run += run_offset;
+      cores_.push_back(std::move(s));
+    }
+    for (McuSample s : src_mcus) {
+      s.run += run_offset;
+      mcus_.push_back(s);
+    }
+    for (ChipSample s : src_chips) {
+      s.run += run_offset;
+      chips_.push_back(s);
+    }
+  }
+
   void clear() EXCLUDES(mu_) {
     const common::LockGuard lock(mu_);
     cores_.clear();

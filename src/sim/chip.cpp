@@ -5,16 +5,9 @@
 
 #include "common/rng.hpp"
 #include "mem/address.hpp"
+#include "sim/intra.hpp"
 
 namespace delta::sim {
-namespace {
-
-/// Batch size for interleaving per-core access streams within an epoch:
-/// small enough that contending cores interact at fine grain, large enough
-/// to keep the issue loop cheap.
-constexpr std::uint64_t kInterleaveBatch = 16;
-
-}  // namespace
 
 Chip::Chip(const MachineConfig& cfg, const std::vector<std::string>& apps,
            std::unique_ptr<Scheme> scheme)
@@ -50,7 +43,12 @@ Chip::Chip(const MachineConfig& cfg, const std::vector<std::string>& apps,
   prev_hits_.resize(static_cast<std::size_t>(cfg_.cores));
   prev_misses_.resize(static_cast<std::size_t>(cfg_.cores));
   scheme_->reset(*this);
+  intra_ = make_intra_engine(*this, cfg_.intra_jobs);
 }
+
+Chip::~Chip() = default;
+
+unsigned Chip::intra_threads() const { return intra_ ? intra_->threads() : 1; }
 
 void Chip::do_access_batch(CoreId c, std::uint64_t count, bool measuring) {
   // Hot path: everything loop-invariant — the slot, its generator/monitor,
@@ -146,17 +144,23 @@ void Chip::run_one_epoch(bool measuring) {
   if (checker_ != nullptr) checker_->on_epoch(*this, epoch_);
 
   // Interleaved issue: round-robin batches until every budget is drained.
-  bool work_left = true;
-  while (work_left) {
-    work_left = false;
-    for (int c = 0; c < cfg_.cores; ++c) {
-      AppSlot& s = slots_[static_cast<std::size_t>(c)];
-      std::uint64_t& target = epoch_targets_[static_cast<std::size_t>(c)];
-      if (!s.active || s.epoch_accesses >= target) continue;
-      const std::uint64_t batch =
-          std::min<std::uint64_t>(kInterleaveBatch, target - s.epoch_accesses);
-      do_access_batch(c, batch, measuring);
-      if (s.epoch_accesses < target) work_left = true;
+  // The intra-run engine (sim/intra.hpp) replays this exact interleaving
+  // from staged per-core streams when cfg_.intra_jobs asked for threads.
+  if (intra_ != nullptr) {
+    intra_->run_epoch_accesses(measuring);
+  } else {
+    bool work_left = true;
+    while (work_left) {
+      work_left = false;
+      for (int c = 0; c < cfg_.cores; ++c) {
+        AppSlot& s = slots_[static_cast<std::size_t>(c)];
+        std::uint64_t& target = epoch_targets_[static_cast<std::size_t>(c)];
+        if (!s.active || s.epoch_accesses >= target) continue;
+        const std::uint64_t batch =
+            std::min<std::uint64_t>(kInterleaveBatch, target - s.epoch_accesses);
+        do_access_batch(c, batch, measuring);
+        if (s.epoch_accesses < target) work_left = true;
+      }
     }
   }
 

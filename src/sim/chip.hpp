@@ -68,6 +68,7 @@ struct AppSlot {
 };
 
 class Chip;
+class IntraEngine;
 
 /// Epoch-boundary hook for chip-wide validation (src/check's
 /// InvariantChecker implements it).  Defined here rather than in the check
@@ -82,9 +83,20 @@ class EpochChecker {
 
 class Chip {
  public:
+  /// Batch size for interleaving per-core access streams within an epoch:
+  /// small enough that contending cores interact at fine grain, large
+  /// enough to keep the issue loop cheap.  The intra-run engine reproduces
+  /// this exact interleaving, so the constant is part of the determinism
+  /// contract — changing it changes results.
+  static constexpr std::uint64_t kInterleaveBatch = 16;
+
   /// `apps` holds one profile short-name per core ("idle" => idle core).
+  /// cfg.intra_jobs > 1 (or 0 = hardware threads) attaches the intra-run
+  /// parallel epoch engine (sim/intra.hpp); results are byte-identical
+  /// either way.
   Chip(const MachineConfig& cfg, const std::vector<std::string>& apps,
        std::unique_ptr<Scheme> scheme);
+  ~Chip();
 
   /// Runs warmup + measured epochs and returns per-app results.
   MixResult run(const std::string& mix_name = "custom");
@@ -131,7 +143,14 @@ class Chip {
   std::uint64_t invalidate_core_chunks(CoreId core, BankId old_bank,
                                        const std::vector<int>& chunks);
 
+  /// Worker threads the attached intra-run engine uses (1 == serial loop).
+  unsigned intra_threads() const;
+
  private:
+  // The intra-run engine is a pure reorganisation of run_one_epoch's access
+  // loop; it reaches into the same private state the loop touches.
+  friend class IntraEngine;
+
   void run_one_epoch(bool measuring);
   /// Issues `count` back-to-back accesses for core `c` with loop-invariant
   /// state (slot, generator, monitor, scheme dispatch target) hoisted and
@@ -147,6 +166,7 @@ class Chip {
   std::vector<mem::SetAssocCache> banks_;
   std::vector<AppSlot> slots_;
   std::unique_ptr<Scheme> scheme_;
+  std::unique_ptr<IntraEngine> intra_;  ///< Null => serial epoch loop.
   noc::TrafficStats traffic_;
   std::uint64_t epoch_ = 0;
   std::uint64_t invalidated_lines_ = 0;

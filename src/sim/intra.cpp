@@ -1,0 +1,194 @@
+#include "sim/intra.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <thread>
+
+#include "sim/chip.hpp"
+
+namespace delta::sim {
+
+IntraEngine::IntraEngine(Chip& chip, unsigned threads)
+    : chip_(chip), pool_(threads) {
+  const std::size_t cores = static_cast<std::size_t>(chip_.cores());
+  stages_.resize(cores);
+  for (CoreStage& st : stages_) st.to_bank.resize(cores);
+  tallies_.resize(cores);
+  const std::size_t mcus = static_cast<std::size_t>(chip_.memsys().num_mcus());
+  for (BankTally& t : tallies_) {
+    t.hits.resize(cores);
+    t.misses.resize(cores);
+    t.mcu_reqs.resize(mcus);
+    t.cursor.resize(cores);
+  }
+  remote_.resize(cores);
+}
+
+void IntraEngine::stage_core(CoreId c) {
+  const AppSlot& s = chip_.slots_[static_cast<std::size_t>(c)];
+  CoreStage& st = stages_[static_cast<std::size_t>(c)];
+  const std::uint64_t target = chip_.epoch_targets_[static_cast<std::size_t>(c)];
+  for (auto& list : st.to_bank) list.clear();
+  st.acc.clear();
+  if (!s.active || target == 0) return;
+
+  st.acc.resize(static_cast<std::size_t>(target));
+  workload::TraceGen* const gen = s.gen.get();
+  umon::Umon* const um = s.umon.get();
+  const Scheme* const scheme = chip_.scheme_.get();
+  for (std::uint64_t i = 0; i < target; ++i) {
+    const BlockAddr block = gen->next();
+    um->access(block);
+    const BankTarget t = scheme->map(chip_, c, block);
+    Staged& a = st.acc[static_cast<std::size_t>(i)];
+    a.block = block;
+    a.set = t.set;
+    a.bank = static_cast<std::uint16_t>(t.bank);
+    st.to_bank[static_cast<std::size_t>(t.bank)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+void IntraEngine::apply_bank(BankId b) {
+  const int cores = chip_.cores();
+  BankTally& tally = tallies_[static_cast<std::size_t>(b)];
+  std::fill(tally.hits.begin(), tally.hits.end(), 0);
+  std::fill(tally.misses.begin(), tally.misses.end(), 0);
+  std::fill(tally.mcu_reqs.begin(), tally.mcu_reqs.end(), 0);
+  std::fill(tally.cursor.begin(), tally.cursor.end(), 0);
+
+  mem::SetAssocCache& bank = chip_.banks_[static_cast<std::size_t>(b)];
+  Scheme* const scheme = chip_.scheme_.get();
+  const noc::MemorySystem& memsys = chip_.memsys_;
+  const noc::Mesh& mesh = chip_.mesh_;
+  const Cycles fixed_lat =
+      chip_.cfg_.llc_tag_latency + chip_.cfg_.llc_data_latency;
+
+  // Canonical merge: the serial loop issues round-robin batches of
+  // kInterleaveBatch per core, so this bank saw its accesses in ascending
+  // (round, core, index) order with round = index / kInterleaveBatch.  Each
+  // per-core index list is already ascending; walk them round by round.
+  constexpr std::uint32_t kBatch =
+      static_cast<std::uint32_t>(Chip::kInterleaveBatch);
+  for (;;) {
+    // Lowest unconsumed round across all cores.
+    std::uint32_t round = UINT32_MAX;
+    for (int c = 0; c < cores; ++c) {
+      const auto& list = stages_[static_cast<std::size_t>(c)]
+                             .to_bank[static_cast<std::size_t>(b)];
+      const std::size_t cur = tally.cursor[static_cast<std::size_t>(c)];
+      if (cur < list.size()) round = std::min(round, list[cur] / kBatch);
+    }
+    if (round == UINT32_MAX) break;
+
+    for (int c = 0; c < cores; ++c) {
+      CoreStage& st = stages_[static_cast<std::size_t>(c)];
+      const auto& list = st.to_bank[static_cast<std::size_t>(b)];
+      std::size_t& cur = tally.cursor[static_cast<std::size_t>(c)];
+      while (cur < list.size() && list[cur] / kBatch == round) {
+        Staged& a = st.acc[list[cur]];
+        ++cur;
+        const mem::WayMask mask = scheme->insert_mask(chip_, c, b);
+        const CoreId evict_pref = scheme->evict_preference(chip_, c, b);
+        const mem::AccessResult res = bank.access(a.set, a.block, c, mask, evict_pref);
+        Cycles lat = mesh.round_trip(c, b) + fixed_lat;
+        if (res.hit) {
+          ++tally.hits[static_cast<std::size_t>(c)];
+        } else {
+          if (res.way >= 0) scheme->on_insertion(chip_, c, b, res);
+          const int mcu = memsys.mcu_for(a.block);
+          const int attach = memsys.attach_tile(mcu);
+          lat += mesh.round_trip(b, attach) +
+                 memsys.mcu(mcu).current_request_latency();
+          ++tally.misses[static_cast<std::size_t>(c)];
+          ++tally.mcu_reqs[static_cast<std::size_t>(mcu)];
+        }
+        a.lat = static_cast<std::uint32_t>(lat);
+      }
+    }
+  }
+}
+
+void IntraEngine::reduce_core(CoreId c, bool measuring) {
+  AppSlot& s = chip_.slots_[static_cast<std::size_t>(c)];
+  const CoreStage& st = stages_[static_cast<std::size_t>(c)];
+  const noc::Mesh& mesh = chip_.mesh_;
+  std::uint64_t remote = 0;
+  // Stream order == the order the serial loop fed this core's accumulators
+  // (interleaving only reorders accesses *across* cores), so these in-place
+  // double additions reproduce the serial rounding bit-for-bit.
+  for (const Staged& a : st.acc) {
+    const int hops = mesh.hops(c, a.bank);
+    remote += hops > 0 ? 1 : 0;
+    s.epoch_lat_sum += static_cast<double>(a.lat);
+    if (measuring) {
+      s.lat_sum += static_cast<double>(a.lat);
+      s.hop_sum += static_cast<double>(hops);
+    }
+  }
+  remote_[static_cast<std::size_t>(c)] = remote;
+  s.epoch_accesses += st.acc.size();
+}
+
+void IntraEngine::run_epoch_accesses(bool measuring) {
+  const unsigned parties = pool_.parties();
+  const std::size_t cores = static_cast<std::size_t>(chip_.cores());
+
+  pool_.run([&](unsigned w) {
+    const IndexRange r = static_partition(cores, parties, w);
+    for (std::size_t c = r.begin; c < r.end; ++c)
+      stage_core(static_cast<CoreId>(c));
+  });
+
+  pool_.run([&](unsigned w) {
+    const IndexRange r = static_partition(cores, parties, w);
+    for (std::size_t b = r.begin; b < r.end; ++b)
+      apply_bank(static_cast<BankId>(b));
+  });
+
+  pool_.run([&](unsigned w) {
+    const IndexRange r = static_partition(cores, parties, w);
+    for (std::size_t c = r.begin; c < r.end; ++c)
+      reduce_core(static_cast<CoreId>(c), measuring);
+  });
+
+  // Serial reduction of the integer tallies in fixed bank order.
+  std::uint64_t total_remote = 0, total_misses = 0;
+  for (std::size_t c = 0; c < cores; ++c) total_remote += remote_[c];
+  for (std::size_t c = 0; c < cores; ++c) {
+    std::uint64_t hits = 0, misses = 0;
+    for (const BankTally& t : tallies_) {
+      hits += t.hits[c];
+      misses += t.misses[c];
+    }
+    total_misses += misses;
+    if (measuring) {
+      AppSlot& s = chip_.slots_[c];
+      s.llc_hits += hits;
+      s.llc_misses += misses;
+    }
+  }
+  chip_.traffic_.count(noc::MsgType::kLlcRequest, total_remote);
+  chip_.traffic_.count(noc::MsgType::kLlcResponse, total_remote);
+  chip_.traffic_.count(noc::MsgType::kMemRequest, total_misses);
+  chip_.traffic_.count(noc::MsgType::kMemResponse, total_misses);
+  const int mcus = chip_.memsys_.num_mcus();
+  for (int m = 0; m < mcus; ++m) {
+    std::uint64_t reqs = 0;
+    for (const BankTally& t : tallies_) reqs += t.mcu_reqs[static_cast<std::size_t>(m)];
+    chip_.memsys_.mcu(m).add_requests(reqs);
+  }
+}
+
+std::unique_ptr<IntraEngine> make_intra_engine(Chip& chip, int intra_jobs) {
+  unsigned n = intra_jobs <= 0 ? std::thread::hardware_concurrency()
+                               : static_cast<unsigned>(intra_jobs);
+  if (n == 0) n = 1;
+  const unsigned cores = static_cast<unsigned>(chip.cores());
+  if (n > cores) n = cores;  // More shards than banks cannot help.
+  if (n <= 1) return nullptr;
+  return std::make_unique<IntraEngine>(chip, n);
+}
+
+}  // namespace delta::sim

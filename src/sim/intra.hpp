@@ -1,0 +1,104 @@
+// Intra-run parallel epoch engine: shards one Chip's epoch across host
+// threads while staying byte-identical to the serial interleaved loop.
+//
+// The serial engine (Chip::run_one_epoch) issues accesses in round-robin
+// batches of Chip::kInterleaveBatch per core.  This engine reproduces the
+// exact same computation in three data-parallel phases per epoch:
+//
+//   Phase 1 — cores in parallel.  Each core draws its full access stream
+//     (RNG, UMON shadow-tag update, scheme->map() bank routing) into a
+//     pre-sized per-core staging buffer and per-(core, bank) index lists.
+//     No shared state is written: TraceGen/Umon are per-core, and map() is
+//     const over epoch-constant routing state (CBTs / S-NUCA hashing are
+//     only rewired inside begin_epoch, which runs before this phase).
+//
+//   Phase 2 — banks in parallel.  Each bank worker merges its staged
+//     per-core index lists back into the canonical serial interleaving
+//     order — ascending (round, core, index) where round = index /
+//     kInterleaveBatch — and applies them against its own SetAssocCache,
+//     enforcer slice, and insert-mask state.  insert_mask() /
+//     evict_preference() / on_insertion() touch only bank-local or
+//     epoch-constant scheme state (the contract documented in scheme.hpp),
+//     so distinct banks never race.  Miss latency uses the MCU's
+//     epoch-constant current_request_latency(); the per-access latency is
+//     written back into the staging buffer and integer tallies (hits,
+//     misses, MCU request counts) accumulate per bank.
+//
+//   Phase 3 — cores in parallel.  Each core folds its latencies into the
+//     slot's double accumulators walking its own stream in index order —
+//     the exact order the serial loop added them, because a core's
+//     accesses reach its accumulators in stream order regardless of how
+//     the serial loop interleaved cores.  All latency inputs are integral
+//     cycles, so the sums are bit-equal, not merely close.
+//
+// Between phases the caller folds the per-bank integer tallies in fixed
+// bank order (traffic counters, per-core hit/miss totals, bulk MCU request
+// counts) — integer additions, hence order-insensitive anyway.
+//
+// Policy steps (begin_epoch reconfiguration, UMON decay, the invariant
+// checker) stay on the serial epoch barrier in Chip::run_one_epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/types.hpp"
+
+namespace delta::sim {
+
+class Chip;
+
+class IntraEngine {
+ public:
+  /// `threads` is the resolved worker count (>= 2; Chip keeps the serial
+  /// loop for 1).  The pool threads persist for the Chip's lifetime and
+  /// park on a barrier between epochs.
+  IntraEngine(Chip& chip, unsigned threads);
+
+  /// Replaces the serial interleaved-issue loop for one epoch.  Callable
+  /// only from the thread that owns the Chip; requires begin_epoch /
+  /// monitor decay / checker hooks to have already run.
+  void run_epoch_accesses(bool measuring);
+
+  unsigned threads() const { return pool_.parties(); }
+
+ private:
+  /// One staged access: routing decided in phase 1, latency filled in by
+  /// phase 2, folded into the slot's accumulators in phase 3.
+  struct Staged {
+    BlockAddr block = 0;
+    std::uint32_t set = 0;
+    std::uint32_t lat = 0;
+    std::uint16_t bank = 0;
+  };
+
+  /// Per-core staging, reused across epochs.
+  struct CoreStage {
+    std::vector<Staged> acc;                        ///< Stream in draw order.
+    std::vector<std::vector<std::uint32_t>> to_bank;  ///< Indices per bank.
+  };
+
+  /// Per-bank integer tallies, reused across epochs.
+  struct BankTally {
+    std::vector<std::uint64_t> hits;      ///< Per core.
+    std::vector<std::uint64_t> misses;    ///< Per core.
+    std::vector<std::uint64_t> mcu_reqs;  ///< Per MCU.
+    std::vector<std::size_t> cursor;      ///< Merge scratch, per core.
+  };
+
+  void stage_core(CoreId c);
+  void apply_bank(BankId b);
+  void reduce_core(CoreId c, bool measuring);
+
+  Chip& chip_;
+  WorkerPool pool_;
+  std::vector<CoreStage> stages_;           ///< One per core.
+  std::vector<BankTally> tallies_;          ///< One per bank.
+  std::vector<std::uint64_t> remote_;       ///< Per core: hop > 0 accesses.
+};
+
+std::unique_ptr<IntraEngine> make_intra_engine(Chip& chip, int intra_jobs);
+
+}  // namespace delta::sim

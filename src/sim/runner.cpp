@@ -1,13 +1,38 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <thread>
 
 #include "common/parallel.hpp"
 #include "workload/spec.hpp"
 #include "workload/splash.hpp"
 
 namespace delta::sim {
+namespace {
+
+/// Resolves the auto (0) intra_jobs of sweep jobs to the leftover thread
+/// budget: total hardware budget divided by the sweep's outer fan-out.
+/// Returns the jobs by value only when something changed.
+std::vector<SweepJob> split_intra_budget(const std::vector<SweepJob>& jobs,
+                                         unsigned threads) {
+  const bool any_auto =
+      std::any_of(jobs.begin(), jobs.end(),
+                  [](const SweepJob& j) { return j.cfg.intra_jobs == 0; });
+  if (!any_auto) return jobs;
+  unsigned budget = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (budget == 0) budget = 1;
+  const unsigned outer =
+      std::min<unsigned>(budget, static_cast<unsigned>(jobs.size()));
+  const unsigned per_job = std::max(1u, budget / std::max(1u, outer));
+  std::vector<SweepJob> resolved = jobs;
+  for (SweepJob& j : resolved)
+    if (j.cfg.intra_jobs == 0) j.cfg.intra_jobs = static_cast<int>(per_job);
+  return resolved;
+}
+
+}  // namespace
 
 MixResult run_mix(const MachineConfig& cfg, const workload::Mix& mix, SchemeKind kind,
                   SchemeOptions opts, obs::Observer* obs, EpochChecker* checker) {
@@ -38,12 +63,31 @@ std::vector<MixResult> run_sweep(const std::vector<SweepJob>& jobs, unsigned thr
   // guard inside the pool, serialising the first wave of workers.
   (void)workload::spec_profiles();
   (void)workload::splash_profiles();
-  std::vector<MixResult> out(jobs.size());
+  const std::vector<SweepJob> resolved = split_intra_budget(jobs, threads);
+  std::vector<MixResult> out(resolved.size());
   parallel_for(
-      0, jobs.size(),
+      0, resolved.size(),
       [&](std::size_t i) {
-        const SweepJob& j = jobs[i];
+        const SweepJob& j = resolved[i];
         out[i] = run_mix(j.cfg, j.mix, j.kind, j.opts);
+      },
+      threads);
+  return out;
+}
+
+std::vector<MixResult> run_sweep_observed(const std::vector<SweepJob>& jobs,
+                                          const std::vector<obs::Observer*>& observers,
+                                          unsigned threads) {
+  assert(observers.size() == jobs.size());
+  (void)workload::spec_profiles();
+  (void)workload::splash_profiles();
+  const std::vector<SweepJob> resolved = split_intra_budget(jobs, threads);
+  std::vector<MixResult> out(resolved.size());
+  parallel_for(
+      0, resolved.size(),
+      [&](std::size_t i) {
+        const SweepJob& j = resolved[i];
+        out[i] = run_mix(j.cfg, j.mix, j.kind, j.opts, observers[i]);
       },
       threads);
   return out;

@@ -44,7 +44,8 @@ workload::Mix mix_for_config(const MachineConfig& cfg, const std::string& mix_na
 /// One independent simulation of a sweep: everything Chip construction
 /// needs, held by value so jobs share no mutable state.  Observers and
 /// epoch checkers are deliberately absent — they are cross-run mutable
-/// sinks; instrumented runs go through run_mix on one thread.
+/// sinks; observed runs use run_sweep_observed (one observer per job),
+/// checkered runs go through run_mix on one thread.
 struct SweepJob {
   MachineConfig cfg;
   workload::Mix mix;
@@ -58,8 +59,26 @@ struct SweepJob {
 /// pre-sized slot, and every simulation is seeded independently of
 /// scheduling, so the returned vector is byte-identical for any thread
 /// count — `threads` only changes the wall-clock.
+///
+/// Composition with the intra-run engine: a job whose cfg.intra_jobs is 0
+/// (auto) gets the leftover thread budget, hw_threads / outer_fanout,
+/// instead of a full pool per job — `--jobs 4 --intra-jobs 0` on a 16-
+/// thread host gives each of 4 concurrent simulations 4 epoch workers
+/// rather than 4x16 oversubscription.  Explicit intra_jobs values pass
+/// through untouched.  Either way results are unchanged; determinism makes
+/// the split a pure scheduling decision.
 std::vector<MixResult> run_sweep(const std::vector<SweepJob>& jobs,
                                  unsigned threads = 0);
+
+/// run_sweep with one observer slot per job (entries may be null).  Each
+/// job's trace/timeline lands in its own observer; merge them back in job
+/// order with obs::Observer::merge_from to get the exact trace a serial
+/// observed execution would have produced.  Kept separate from run_sweep so
+/// the plain sweep API stays observer-free (one mutable sink shared across
+/// jobs would interleave nondeterministically).
+std::vector<MixResult> run_sweep_observed(const std::vector<SweepJob>& jobs,
+                                          const std::vector<obs::Observer*>& observers,
+                                          unsigned threads = 0);
 
 /// compare_schemes over many mixes at once: each (mix, scheme) pair
 /// becomes one sweep job.  Returns one comparison per input mix, in input

@@ -35,6 +35,19 @@ enum class SchemeKind { kSnuca, kPrivate, kIdealCentralized, kDelta };
 
 std::string_view to_string(SchemeKind k);
 
+// Thread-locality contract for the intra-run engine (sim/intra.hpp): the
+// during-epoch hooks below are called from parallel workers, so they must
+// confine themselves to
+//   * map(): epoch-constant routing state only (CBTs, hashing) — called
+//     concurrently for different cores;
+//   * insert_mask() / evict_preference() / on_insertion(): state owned by
+//     the `bank` argument (per-bank WpUnit, enforcer slice) or
+//     epoch-constant state — called concurrently for *different* banks,
+//     serially within one bank in the canonical access order.
+// Anything cross-bank (reallocation, challenges, bulk invalidation) belongs
+// in begin_epoch(), which runs on the epoch barrier.  All four in-tree
+// schemes satisfy this; test_intra enforces it end to end and the TSan CI
+// job watches for violations dynamically.
 class Scheme {
  public:
   virtual ~Scheme() = default;

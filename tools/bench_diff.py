@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gate a fresh micro_throughput run against the committed reference.
+
+    tools/bench_diff.py BENCH_throughput.json fresh.json [--slack 0.6]
+
+Only machine-independent numbers are gated:
+  * cache_kernel.*.new_over_legacy — both engines ran on the same host in
+    the same process, so the ratio transfers across machines.  The fresh
+    ratio must stay above `slack` times the reference ratio.
+  * sweep.byte_identical / intra.byte_identical — determinism is binary
+    and must hold on every host.
+  * schema — a fresh run on an older schema means the harness and the
+    reference have drifted apart; fail loudly rather than compare holes.
+
+Absolute accesses/sec and the sweep/intra speedups are printed for the
+log but never gated: they depend on the runner's core count (a 1-CPU
+host measures ~1x by construction — see docs/performance.md).
+
+Exit status: 0 pass, 1 regression/divergence, 2 usage or malformed input.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("reference", help="committed BENCH_throughput.json")
+    ap.add_argument("fresh", help="JSON from the run under test")
+    ap.add_argument("--slack", type=float, default=0.6,
+                    help="fresh ratio must be >= slack * reference ratio "
+                         "(default 0.6; absorbs shared-runner noise)")
+    args = ap.parse_args()
+
+    ref = load(args.reference)
+    new = load(args.fresh)
+    failures = []
+
+    if new.get("schema") != ref.get("schema"):
+        failures.append(f"schema mismatch: reference {ref.get('schema')!r} "
+                        f"vs fresh {new.get('schema')!r}")
+
+    for stream in ("hit_heavy", "thrashing"):
+        try:
+            r = ref["cache_kernel"][stream]["new_over_legacy"]
+            n = new["cache_kernel"][stream]["new_over_legacy"]
+        except (KeyError, TypeError):
+            failures.append(f"cache_kernel.{stream}.new_over_legacy missing")
+            continue
+        floor = args.slack * r
+        verdict = "ok" if n >= floor else "FAIL"
+        print(f"cache_kernel.{stream}: reference {r:.2f}x, fresh {n:.2f}x, "
+              f"floor {floor:.2f}x -> {verdict}")
+        if n < floor:
+            failures.append(f"cache_kernel.{stream} ratio {n:.2f}x below "
+                            f"floor {floor:.2f}x ({args.slack} * {r:.2f}x)")
+
+    for section in ("sweep", "intra"):
+        ident = new.get(section, {}).get("byte_identical")
+        print(f"{section}.byte_identical: {ident}")
+        if ident is not True:
+            failures.append(f"{section}.byte_identical is {ident!r}, not true")
+
+    # Informational only (machine-dependent): single-thread throughput and
+    # the parallel speedups on this runner.
+    for scheme, v in new.get("simulator", {}).items():
+        print(f"simulator.{scheme}: {v.get('accesses_per_sec', 0):.3g} acc/s "
+              f"(not gated)")
+    for p in new.get("intra", {}).get("points", []):
+        print(f"intra --intra-jobs {p.get('intra_jobs')}: "
+              f"{p.get('speedup_vs_serial', 0):.2f}x vs serial (not gated; "
+              f"hw_threads={new.get('hw_threads')})")
+
+    if failures:
+        for f in failures:
+            print(f"bench_diff: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("bench_diff: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,10 @@ Options:
   --seeds N           Number of fuzz cases (default 25).
   --seed-base S       First seed; case i uses S+i (default 983378).
   --threads N         Worker threads for the batch (default 1).
+  --intra-jobs N      Worker threads inside each simulation (default 1;
+                      0 = hardware threads).  Byte-identical at any value,
+                      so combined with the determinism check this drives
+                      the intra-run engine end to end.
   --repro SEED        Run exactly one seed, verbose, and exit.
   --sweep-interval N  Residency-sweep cadence in epochs (default 4, 0 = off).
   --out-dir DIR       Write summary JSON + per-failure reports into DIR.
@@ -78,9 +82,9 @@ void write_artifacts(const std::string& dir,
 int main(int argc, char** argv) {
   delta::ArgParser args(argc, argv);
   const std::vector<std::string> known = {
-      "seeds",          "seed-base",      "threads",       "repro",
-      "sweep-interval", "out-dir",        "no-invariants", "no-differential",
-      "no-determinism", "no-lockstep",    "help"};
+      "seeds",          "seed-base",      "threads",       "intra-jobs",
+      "repro",          "sweep-interval", "out-dir",       "no-invariants",
+      "no-differential","no-determinism", "no-lockstep",   "help"};
   const auto unknown = args.unknown_flags(known);
   if (!unknown.empty()) {
     for (const auto& f : unknown)
@@ -98,6 +102,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed-base", 0xF0552));
   opt.cases = static_cast<int>(args.get_int("seeds", 25));
   opt.threads = static_cast<unsigned>(args.get_int("threads", 1));
+  opt.intra_jobs = static_cast<int>(args.get_int("intra-jobs", 1));
   opt.sweep_interval = static_cast<int>(args.get_int("sweep-interval", 4));
   opt.lockstep = !args.has("no-lockstep");
   opt.check_invariants = !args.has("no-invariants");

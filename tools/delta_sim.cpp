@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
       "mix",        "apps",         "scheme", "cores",     "epochs",
       "warmup",     "seed",         "csv",    "list",      "central-ms",
       "trace-out",  "timeline-csv", "json",   "obs-level", "jobs",
-      "help",
+      "intra-jobs", "help",
   };
   if (!args.unknown_flags(known).empty() || args.has("help")) {
     for (const auto& f : args.unknown_flags(known))
@@ -107,7 +107,11 @@ int main(int argc, char** argv) {
                  "                 [--json [summary.json]] "
                  "[--obs-level off|summary|timeline|full]\n"
                  "                 [--jobs N]   (parallel scheme fan-out for "
-                 "--scheme all; 0 = all hw threads)\n");
+                 "--scheme all; 0 = all hw threads)\n"
+                 "                 [--intra-jobs N]   (threads inside each "
+                 "simulation; 1 = serial, 0 = auto;\n"
+                 "                                     byte-identical results "
+                 "at any value)\n");
     return args.has("help") ? 0 : 1;
   }
   if (args.has("list")) {
@@ -120,6 +124,9 @@ int main(int argc, char** argv) {
   cfg.measure_epochs = static_cast<int>(args.get_int("epochs", cfg.measure_epochs));
   cfg.warmup_epochs = static_cast<int>(args.get_int("warmup", cfg.warmup_epochs));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  // Intra-run engine threads (sim/intra.hpp): results are byte-identical at
+  // any value, so this is safe to combine with every other flag.
+  cfg.intra_jobs = static_cast<int>(args.get_int("intra-jobs", 1));
 
   workload::Mix mix;
   if (args.has("apps")) {
@@ -161,20 +168,35 @@ int main(int argc, char** argv) {
 
   // --jobs N fans the four --scheme all runs over N threads (0 = every
   // hardware thread); results are byte-identical to the serial default.
-  // Observer-attached runs stay serial: the trace is one mutable sink.
+  // With observability outputs each job records into its own observer and
+  // the per-job traces are merged back in scheme order — run-major, which
+  // is exactly the order a serial observed execution emits (nothing in a
+  // trace carries wall time), so the exported files match the serial ones.
   const unsigned jobs =
       static_cast<unsigned>(args.get_int("jobs", 1));
-  if (args.has("jobs") && wants_obs) {
-    std::fprintf(stderr,
-                 "--jobs is ignored with observability outputs (single "
-                 "trace sink); running serially\n");
-  }
 
   std::vector<sim::MixResult> results;
-  if (scheme == "all" && jobs != 1 && !wants_obs) {
-    const std::vector<sim::SchemeComparison> comps =
-        sim::compare_schemes_sweep(cfg, {mix}, jobs);
-    const sim::SchemeComparison& c = comps.front();
+  if (scheme == "all" && jobs != 1) {
+    sim::SchemeComparison c;
+    if (wants_obs) {
+      const std::vector<sim::SchemeKind> kinds = {
+          sim::SchemeKind::kSnuca, sim::SchemeKind::kPrivate,
+          sim::SchemeKind::kIdealCentralized, sim::SchemeKind::kDelta};
+      std::vector<sim::SweepJob> sweep_jobs;
+      std::vector<std::unique_ptr<obs::Observer>> job_obs;
+      std::vector<obs::Observer*> obs_ptrs;
+      for (sim::SchemeKind kind : kinds) {
+        sweep_jobs.push_back(sim::SweepJob{cfg, mix, kind, {}});
+        job_obs.push_back(std::make_unique<obs::Observer>(observer->level()));
+        obs_ptrs.push_back(job_obs.back().get());
+      }
+      const std::vector<sim::MixResult> r =
+          sim::run_sweep_observed(sweep_jobs, obs_ptrs, jobs);
+      for (const auto& jo : job_obs) observer->merge_from(*jo);
+      c = sim::SchemeComparison{r[0], r[1], r[2], r[3]};
+    } else {
+      c = sim::compare_schemes_sweep(cfg, {mix}, jobs).front();
+    }
     print_result(c.snuca, &c.snuca, csv, text_out);
     print_result(c.private_llc, &c.snuca, csv, text_out);
     print_result(c.ideal, &c.snuca, csv, text_out);
