@@ -36,6 +36,7 @@ double range_spread_cv(const workload::AppProfile& p, bool reverse) {
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Ablation — CBT bank-selection bit reversal",
                       "Sec. II-C1 design-choice study (not a paper figure)");
 

@@ -24,6 +24,7 @@ double delta_speedup(sim::MachineConfig cfg, const workload::Mix& mix) {
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Ablation — DELTA parameter sensitivity (mix w6, 16 cores)",
                       "DESIGN.md ablation index (not a paper figure)");
 

@@ -29,6 +29,7 @@ delta_bench(ablation_cbt_bits)
 delta_bench(ext_mt_integrated)
 delta_bench(ext_underutilized)
 delta_bench(micro_obs_overhead)
+delta_bench(micro_prof_overhead)
 delta_bench(micro_throughput)
 
 add_executable(micro_components ${CMAKE_SOURCE_DIR}/bench/micro_components.cpp)

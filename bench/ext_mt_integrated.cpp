@@ -11,7 +11,8 @@
 #include "sim/splash_estimator.hpp"
 #include "workload/splash.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const delta::bench::ProfScope prof(argc, argv);
   using namespace delta;
   bench::print_header("Extension — integrated multithreaded DELTA vs the paper's estimate",
                       "Sec. II-E / IV-C future-work extension");

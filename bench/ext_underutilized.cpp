@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Extension — under-utilised chip (idle-bank fast path)",
                       "Sec. II-B1 idle-bank discussion / Sec. IV-B private critique");
 

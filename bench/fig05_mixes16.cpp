@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Fig. 5 — 16-core multi-programmed mixes",
                       "Sec. IV-A, Fig. 5");
 

@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Fig. 6 — ANTT / STP, ideal centralized vs DELTA (16 cores)",
                       "Sec. IV-A, Fig. 6");
 

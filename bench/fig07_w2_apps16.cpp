@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Fig. 7 — per-application performance, w2, 16 cores",
                       "Sec. IV-A, Fig. 7");
 

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Fig. 9 — 64-core multi-programmed mixes",
                       "Sec. IV-B, Fig. 9");
 

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Fig. 10 — per-application performance, w2, 64 cores",
                       "Sec. IV-B, Fig. 10");
 

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Fig. 11 — per-application performance, w13, 64 cores",
                       "Sec. IV-B, Fig. 11");
 

@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Fig. 12 — SPLASH2 on 16 cores (piecewise estimate)",
                       "Sec. IV-C, Fig. 12");
 

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Fig. 13 — reconfiguration frequency (ideal centralized)",
                       "Sec. IV-D, Fig. 13");
 

@@ -111,6 +111,7 @@ SchemeThroughput sim_throughput(const sim::MachineConfig& cfg,
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("micro_throughput — engine & sweep throughput harness",
                       "repo performance baseline (docs/performance.md)");
 
@@ -247,10 +248,40 @@ int main(int argc, char** argv) {
                 p.seconds > 0.0 ? intra_points.front().seconds / p.seconds : 0.0);
   std::printf("intra results %s\n", intra_identical ? "identical" : "DIVERGENT");
 
+  // ---- Prof phase breakdown: one profiled 4-way intra run (new in v3).
+  // Runs after all timing so arming the profiler cannot touch the numbers
+  // above; phase totals answer "where does an intra epoch go" and the two
+  // gauges are the engine-health indicators docs/performance.md tracks.
+  obs::prof::MetricsRegistry::global().reset_values();
+  obs::prof::Profiler::instance().clear();
+  obs::prof::set_level(obs::prof::ProfLevel::kPhases);
+  {
+    sim::MachineConfig c = intra_cfg;
+    c.intra_jobs = 4;
+    sim::run_mix(c, intra_mix, sim::SchemeKind::kDelta);
+  }
+  obs::prof::set_level(obs::prof::ProfLevel::kOff);
+  const obs::prof::ProfSnapshot prof_snap = obs::prof::Profiler::instance().snapshot();
+  const obs::prof::RegistrySnapshot prof_reg =
+      obs::prof::MetricsRegistry::global().snapshot();
+  const auto gauge_or_zero = [&](const char* name) {
+    const obs::prof::MetricSample* m = prof_reg.find(name);
+    return m != nullptr ? m->value : 0.0;
+  };
+  const double barrier_frac = gauge_or_zero("delta_intra_barrier_wait_fraction");
+  const double imbalance = gauge_or_zero("delta_intra_worker_imbalance_ratio");
+  std::printf("prof (4-way intra): stage %.1fms apply %.1fms reduce %.1fms "
+              "barrier %.1fms, wait fraction %.3f, imbalance %.2f\n",
+              prof_snap.phase_ns(obs::prof::Phase::kStage) / 1e6,
+              prof_snap.phase_ns(obs::prof::Phase::kApply) / 1e6,
+              prof_snap.phase_ns(obs::prof::Phase::kReduce) / 1e6,
+              prof_snap.phase_ns(obs::prof::Phase::kBarrier) / 1e6,
+              barrier_frac, imbalance);
+
   // ---- BENCH_throughput.json. ----
   std::string j;
   j += "{\n";
-  j += "  \"schema\": \"delta-bench-throughput-v2\",\n";
+  j += "  \"schema\": \"delta-bench-throughput-v3\",\n";
   j += "  \"hw_threads\": " +
        obs::json_num(static_cast<double>(std::thread::hardware_concurrency())) + ",\n";
   j += "  \"jobs\": " + obs::json_num(static_cast<double>(jobs)) + ",\n";
@@ -304,6 +335,24 @@ int main(int argc, char** argv) {
   j += "    ],\n";
   j += std::string("    \"byte_identical\": ") +
        (intra_identical ? "true" : "false") + "\n";
+  j += "  },\n";
+  j += "  \"prof\": {\n";
+  j += "    \"intra_jobs\": 4,\n";
+  j += "    \"phase_ms\": {\n";
+  j += "      \"stage\": " +
+       obs::json_num(prof_snap.phase_ns(obs::prof::Phase::kStage) / 1e6) + ",\n";
+  j += "      \"apply\": " +
+       obs::json_num(prof_snap.phase_ns(obs::prof::Phase::kApply) / 1e6) + ",\n";
+  j += "      \"reduce\": " +
+       obs::json_num(prof_snap.phase_ns(obs::prof::Phase::kReduce) / 1e6) + ",\n";
+  j += "      \"serial_tail\": " +
+       obs::json_num(prof_snap.phase_ns(obs::prof::Phase::kSerialTail) / 1e6) +
+       ",\n";
+  j += "      \"barrier\": " +
+       obs::json_num(prof_snap.phase_ns(obs::prof::Phase::kBarrier) / 1e6) + "\n";
+  j += "    },\n";
+  j += "    \"barrier_wait_fraction\": " + obs::json_num(barrier_frac) + ",\n";
+  j += "    \"worker_imbalance_ratio\": " + obs::json_num(imbalance) + "\n";
   j += "  }\n";
   j += "}\n";
   if (!obs::write_text_file(out_path, j)) {

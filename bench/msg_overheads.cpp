@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Message overheads — DELTA control traffic vs demand",
                       "Sec. IV-E2");
 

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace delta;
+  const bench::ProfScope prof(argc, argv);
   bench::print_header("Table V — private pages/blocks per SPLASH2 app",
                       "Sec. IV-C, Table V");
 

@@ -1,6 +1,11 @@
-// Fixed-bin histogram used for latency distributions and hop-count profiles.
+// Fixed-bin histogram used for latency distributions and hop-count profiles,
+// plus a log-bucket (power-of-two) histogram for wall-clock durations where
+// the value range spans many orders of magnitude (obs/prof metrics).
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -49,6 +54,18 @@ class Histogram {
     return hi_;
   }
 
+  /// Folds another histogram with the identical binning ([lo, hi) and bin
+  /// count) into this one.  Disjoint *occupied* ranges are fine — merging is
+  /// bin-wise addition — but the bin layout itself must match; merging across
+  /// different layouts would silently rebucket, so it is a precondition.
+  void merge(const Histogram& other) {
+    assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size());
+    for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+    total_ += other.total_;
+    weighted_sum_ += other.weighted_sum_;
+  }
+
   void reset() {
     for (auto& c : counts_) c = 0;
     total_ = 0;
@@ -60,6 +77,71 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
   double weighted_sum_ = 0.0;
+};
+
+/// Power-of-two-bucket histogram over the full uint64 range.  Bucket b holds
+/// values whose bit width is b — bucket 0 is exactly {0}, bucket b >= 1 covers
+/// [2^(b-1), 2^b).  Every bucket boundary is value-independent, so two
+/// LogHistograms always merge exactly (bucket-wise addition) even when their
+/// occupied ranges are disjoint — the property the metrics registry relies on
+/// when folding per-thread duration histograms into one process-wide view.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t v, std::uint64_t weight = 1) {
+    counts_[static_cast<std::size_t>(std::bit_width(v))] += weight;
+    total_ += weight;
+    sum_ += v * weight;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t sum() const { return sum_; }
+  double mean() const {
+    return total_ ? static_cast<double>(sum_) / static_cast<double>(total_) : 0.0;
+  }
+  std::uint64_t count(std::size_t bucket) const { return counts_[bucket]; }
+
+  /// Lowest value bucket `b` can hold: 0, 1, 2, 4, ..., 2^63.
+  static std::uint64_t bucket_lo(std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Highest value bucket `b` can hold (inclusive).
+  static std::uint64_t bucket_hi(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return UINT64_MAX;
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  /// Upper bound of the first bucket at which at least `q` (0..1] of the
+  /// mass has accumulated; 0 for an empty histogram.
+  std::uint64_t quantile(double q) const {
+    if (total_ == 0) return 0;
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cum += static_cast<double>(counts_[b]);
+      if (cum >= target) return bucket_hi(b);
+    }
+    return bucket_hi(kBuckets - 1);
+  }
+
+  void merge(const LogHistogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+  void reset() {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
 };
 
 }  // namespace delta

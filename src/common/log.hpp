@@ -9,11 +9,18 @@
 //    in one buffer and written to stderr under the annotated common::Mutex,
 //    so interleaved records from concurrent benches cannot shear mid-line.
 //    The level gate itself is a relaxed atomic: a disabled call never locks.
+//  - exit/abort flushing: install_flush_handlers() registers a std::atexit
+//    handler and a SIGABRT trampoline that drain registered flush hooks and
+//    all stdio buffers, so profiler output and invariant-failure reports
+//    composed through buffered streams survive a run that dies mid-epoch.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <csignal>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/sync.hpp"
@@ -47,6 +54,24 @@ class Logger {
   /// Messages longer than an internal 1 KiB buffer are truncated with "...".
   static std::string vformat(LogLevel lvl, const char* fmt, std::va_list ap);
 
+  /// Registers `fn` to run from flush_now() — and therefore on normal exit
+  /// and on abort once install_flush_handlers() ran.  Hooks must be safe to
+  /// call at process teardown (no heap-order assumptions) and must not log.
+  /// At most kMaxFlushHooks are kept; later registrations are dropped.
+  static void add_flush_hook(void (*fn)());
+
+  /// Runs every registered flush hook, then drains all stdio buffers.
+  static void flush_now();
+
+  /// Idempotent: arranges for flush_now() to run via std::atexit and on
+  /// SIGABRT (the handler re-raises with the default disposition afterwards,
+  /// so the abort still terminates the process and produces a core).  fflush
+  /// from a signal handler is not strictly async-signal-safe; this is a
+  /// best-effort diagnostic drain on a path that is already fatal.
+  static void install_flush_handlers();
+
+  static constexpr std::size_t kMaxFlushHooks = 8;
+
  private:
   static const char* name(LogLevel lvl) {
     switch (lvl) {
@@ -65,8 +90,44 @@ class Logger {
     return mu;
   }
 
+  static void abort_trampoline(int sig) {
+    flush_now();
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+
   static inline std::atomic<LogLevel> level_ = LogLevel::kWarn;
+  // Flush-hook slots: hook_count_ is only ever incremented after the slot it
+  // claims has been written, so a concurrent flush_now() sees a fully
+  // initialised prefix of the array.
+  static inline std::array<std::atomic<void (*)()>, kMaxFlushHooks> flush_hooks_{};
+  static inline std::atomic<std::size_t> hook_count_{0};
+  static inline std::atomic<bool> handlers_installed_{false};
 };
+
+inline void Logger::add_flush_hook(void (*fn)()) {
+  if (fn == nullptr) return;
+  const common::LockGuard lock(io_mutex());
+  const std::size_t n = hook_count_.load(std::memory_order_relaxed);
+  if (n >= kMaxFlushHooks) return;
+  flush_hooks_[n].store(fn, std::memory_order_relaxed);
+  hook_count_.store(n + 1, std::memory_order_release);
+}
+
+inline void Logger::flush_now() {
+  const std::size_t n = hook_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (void (*fn)() = flush_hooks_[i].load(std::memory_order_relaxed))
+      fn();
+  }
+  std::fflush(nullptr);
+}
+
+inline void Logger::install_flush_handlers() {
+  if (handlers_installed_.exchange(true, std::memory_order_acq_rel)) return;
+  std::atexit(&Logger::flush_now);
+  std::signal(SIGABRT, &Logger::abort_trampoline);
+}
 
 inline std::string Logger::vformat(LogLevel lvl, const char* fmt, std::va_list ap) {
   char buf[1024];

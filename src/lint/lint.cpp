@@ -293,6 +293,11 @@ class Linter {
       const char* word;
       bool needs_call;  ///< Only flag when followed by '('.
       const char* what;
+      /// Path-label substring under which the word is legal (nullptr =
+      /// banned everywhere).  The only current carve-out is the profiling
+      /// subsystem: wall-clock reads are its whole purpose, and they stay
+      /// observation-only there (docs/observability.md).
+      const char* allow_dir = nullptr;
     };
     static constexpr Pattern kPatterns[] = {
         {"rand", true, "rand() is seed-global and libc-dependent"},
@@ -301,10 +306,19 @@ class Linter {
         {"system_clock", false, "wall-clock time varies across runs"},
         {"time", true, "time() reads the wall clock"},
         {"clock", true, "clock() reads process time"},
+        {"steady_clock", false,
+         "wall-clock reads outside the profiling subsystem; instrument "
+         "through obs/prof/prof.hpp instead", "src/obs/prof"},
+        {"high_resolution_clock", false,
+         "wall-clock reads outside the profiling subsystem; instrument "
+         "through obs/prof/prof.hpp instead", "src/obs/prof"},
     };
     for (std::size_t li = 0; li < code_lines_.size(); ++li) {
       const std::string_view line = code_lines_[li];
       for (const Pattern& p : kPatterns) {
+        if (p.allow_dir != nullptr &&
+            info_.path_label.find(p.allow_dir) != std::string::npos)
+          continue;
         for (std::size_t pos = find_word(line, p.word);
              pos != std::string_view::npos;
              pos = find_word(line, p.word, pos + 1)) {

@@ -9,7 +9,12 @@
 //                     version; any fold over it can change results)
 //   nondet-source     rand()/srand(), std::random_device, wall-clock
 //                     (std::chrono::system_clock, time(), clock()) — all
-//                     randomness must flow through common/rng.hpp seeds
+//                     randomness must flow through common/rng.hpp seeds.
+//                     steady_clock/high_resolution_clock are banned too,
+//                     with one carve-out: files under src/obs/prof, the
+//                     self-profiling subsystem whose whole job is reading
+//                     the clock (sim/ code instruments itself through its
+//                     RAII types and never touches a clock directly)
 //   ptr-key           pointer-keyed ordered containers (std::map<T*, ...>):
 //                     ordered by allocation addresses, i.e. by ASLR
 //   naked-new         naked new/delete — owning raw pointers; use values,

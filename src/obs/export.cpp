@@ -99,9 +99,7 @@ std::string timeline_csv(const Observer& obs) {
   return out;
 }
 
-std::string chrome_trace_json(const Observer& obs) {
-  std::string out = "{\"traceEvents\":[\n";
-
+void append_chrome_trace_events(std::string& out, const Observer& obs) {
   // Metadata: one trace process per run (scheme), named tile tracks.
   std::set<std::pair<std::uint32_t, int>> tids;
   for (const Event& e : obs.events().events())
@@ -146,6 +144,11 @@ std::string chrome_trace_json(const Observer& obs) {
     std::snprintf(name, sizeof name, "mcu%d util", s.mcu);
     append_counter(out, s.run, ts, name, "util", s.utilization);
   }
+}
+
+std::string chrome_trace_json(const Observer& obs) {
+  std::string out = "{\"traceEvents\":[\n";
+  append_chrome_trace_events(out, obs);
 
   // Trailing comma cleanup: drop the final ",\n" if any entry was written.
   if (out.size() >= 2 && out[out.size() - 2] == ',') {

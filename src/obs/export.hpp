@@ -32,6 +32,13 @@ std::string timeline_csv(const Observer& obs);
 
 std::string chrome_trace_json(const Observer& obs);
 
+/// Appends the observer's trace entries (process/thread metadata, policy
+/// instants, timeline counters) to `out`, each terminated by ",\n".  The
+/// building block chrome_trace_json() and the profiler's merged exporter
+/// (obs/prof/export.hpp) share, so phase spans and policy events can land in
+/// one trace file.
+void append_chrome_trace_events(std::string& out, const Observer& obs);
+
 /// Writes `content` to `path`; returns false (and leaves errno set) on
 /// failure.
 bool write_text_file(const std::string& path, std::string_view content);

@@ -1,0 +1,41 @@
+// Exporters for the self-profiling subsystem (formats documented in
+// docs/observability.md):
+//
+//   prof_trace_json — Chrome trace-event JSON carrying the profiler's phase
+//     spans as "X" duration events on per-thread tracks of a dedicated
+//     "engine prof" process (wall-clock microseconds), merged with the
+//     observer's policy events and counters when an Observer is supplied —
+//     one flamegraph shows where epoch time went next to what the policy
+//     did.
+//   prometheus_text — Prometheus text exposition of a registry snapshot
+//     (counters, gauges, histograms with cumulative le buckets).
+//   metrics_json — JSON dump: every registry metric plus the snapshot's
+//     per-phase wall totals and site aggregates.
+//
+// Like obs/export.hpp, exporters build strings; write_text_file() is the
+// file sink.
+#pragma once
+
+#include <string>
+
+#include "obs/prof/metrics.hpp"
+#include "obs/prof/prof.hpp"
+
+namespace delta::obs {
+class Observer;
+}  // namespace delta::obs
+
+namespace delta::obs::prof {
+
+/// Trace process id for profiler tracks; run/scheme processes use their run
+/// index (0..runs), so a high fixed pid keeps the two namespaces apart.
+inline constexpr unsigned kProfTracePid = 1000;
+
+std::string prof_trace_json(const ProfSnapshot& snap,
+                            const Observer* obs = nullptr);
+
+std::string prometheus_text(const RegistrySnapshot& reg);
+
+std::string metrics_json(const RegistrySnapshot& reg, const ProfSnapshot& snap);
+
+}  // namespace delta::obs::prof

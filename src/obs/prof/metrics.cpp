@@ -1,0 +1,104 @@
+#include "obs/prof/metrics.hpp"
+
+#include <cassert>
+
+namespace delta::obs::prof {
+
+const MetricSample* RegistrySnapshot::find(std::string_view name) const {
+  for (const MetricSample& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  const common::LockGuard lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    assert(e.gauge == nullptr && e.hist == nullptr && "metric kind clash");
+    e.kind = MetricKind::kCounter;
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  const common::LockGuard lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    assert(e.counter == nullptr && e.hist == nullptr && "metric kind clash");
+    e.kind = MetricKind::kGauge;
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            const std::string& help) {
+  const common::LockGuard lock(mu_);
+  Entry& e = entries_[name];
+  if (e.hist == nullptr) {
+    assert(e.counter == nullptr && e.gauge == nullptr && "metric kind clash");
+    e.kind = MetricKind::kHistogram;
+    e.help = help;
+    e.hist = std::make_unique<HistogramMetric>();
+  }
+  return *e.hist;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot out;
+  const common::LockGuard lock(mu_);
+  out.metrics.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSample m;
+    m.name = name;
+    m.help = e.help;
+    m.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        m.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricKind::kGauge:
+        m.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        m.hist = e.hist->snapshot();
+        break;
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  const common::LockGuard lock(mu_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    switch (e.kind) {
+      case MetricKind::kCounter: {
+        // Counters have no store API by design; rebuilding keeps the
+        // monotonic contract for live handles... which must stay valid, so
+        // subtract instead: add the two's-complement of the current value.
+        const std::uint64_t v = e.counter->value();
+        e.counter->add(~v + 1);
+        break;
+      }
+      case MetricKind::kGauge:
+        e.gauge->set(0.0);
+        break;
+      case MetricKind::kHistogram:
+        e.hist->reset();
+        break;
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+}  // namespace delta::obs::prof

@@ -1,0 +1,120 @@
+// Process-wide metrics registry: counters, gauges, and log-bucket histograms
+// (built on common/histogram.hpp's LogHistogram) with deterministic
+// registration semantics and snapshot-by-value readers.
+//
+// Registration returns a stable reference that lives for the process (the
+// registry never removes metrics), so hot paths register once at setup and
+// then touch only the metric's own atomics.  Names are held in a std::map —
+// export order is name order, deterministic regardless of which thread
+// registered first.  Snapshots deep-copy every value under the registry
+// lock, so readers never observe a metric mid-update and exporters can run
+// while the simulation keeps counting (the same discipline as
+// obs/recorder.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/sync.hpp"
+
+namespace delta::obs::prof {
+
+/// Monotonic uint64 counter; add() is a relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins double gauge.
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-bucket histogram metric; observe() locks the metric's own mutex
+/// (observations come at epoch granularity, never from access hot paths).
+class HistogramMetric {
+ public:
+  void observe(std::uint64_t v, std::uint64_t weight = 1) EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    h_.add(v, weight);
+  }
+  LogHistogram snapshot() const EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    return h_;
+  }
+  void reset() EXCLUDES(mu_) {
+    const common::LockGuard lock(mu_);
+    h_.reset();
+  }
+
+ private:
+  mutable common::Mutex mu_;
+  LogHistogram h_ GUARDED_BY(mu_);
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One metric's deep-copied state at snapshot time.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;   ///< Counter (exact up to 2^53) or gauge value.
+  LogHistogram hist;    ///< kHistogram only.
+};
+
+/// Name-ordered (hence deterministic) registry snapshot.
+struct RegistrySnapshot {
+  std::vector<MetricSample> metrics;
+  const MetricSample* find(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// Re-registration ignores `help` and returns the existing metric;
+  /// registering the same name as a different kind aborts (assert) — metric
+  /// names are a process-wide namespace.
+  Counter& counter(const std::string& name, const std::string& help)
+      EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name, const std::string& help) EXCLUDES(mu_);
+  HistogramMetric& histogram(const std::string& name, const std::string& help)
+      EXCLUDES(mu_);
+
+  RegistrySnapshot snapshot() const EXCLUDES(mu_);
+
+  /// Zeroes every registered value (metrics stay registered; references
+  /// remain valid).  For benches/tests that reuse the process registry.
+  void reset_values() EXCLUDES(mu_);
+
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> hist;
+  };
+
+  mutable common::Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
+};
+
+}  // namespace delta::obs::prof

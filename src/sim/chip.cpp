@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "mem/address.hpp"
+#include "obs/prof/prof.hpp"
 #include "sim/intra.hpp"
 
 namespace delta::sim {
@@ -51,6 +52,9 @@ Chip::~Chip() = default;
 unsigned Chip::intra_threads() const { return intra_ ? intra_->threads() : 1; }
 
 void Chip::do_access_batch(CoreId c, std::uint64_t count, bool measuring) {
+  // Profiled at batch granularity only (a per-access timer would dominate
+  // the work it measures); disabled cost is one relaxed load.
+  const obs::prof::ScopedSite prof_timer(obs::prof::Site::kAccessBatch);
   // Hot path: everything loop-invariant — the slot, its generator/monitor,
   // the scheme pointer, the fixed tag+data latency — is hoisted out of the
   // per-access loop, and per-access statistics accumulate in locals that
@@ -108,6 +112,8 @@ void Chip::do_access_batch(CoreId c, std::uint64_t count, bool measuring) {
 }
 
 void Chip::run_one_epoch(bool measuring) {
+  const obs::prof::ScopedSpan epoch_span(obs::prof::Phase::kEpoch, epoch_);
+  obs::prof::ScopedSpan policy_span(obs::prof::Phase::kPolicy, epoch_);
   // Phase selection + per-core access budget for this epoch.
   for (int c = 0; c < cfg_.cores; ++c) {
     AppSlot& s = slots_[static_cast<std::size_t>(c)];
@@ -142,6 +148,7 @@ void Chip::run_one_epoch(bool measuring) {
   // Invariant sweep over the post-reconfiguration state (way conservation,
   // CBT coverage, residency agreement, ...) before any access runs on it.
   if (checker_ != nullptr) checker_->on_epoch(*this, epoch_);
+  policy_span.stop();
 
   // Interleaved issue: round-robin batches until every budget is drained.
   // The intra-run engine (sim/intra.hpp) replays this exact interleaving
@@ -149,6 +156,8 @@ void Chip::run_one_epoch(bool measuring) {
   if (intra_ != nullptr) {
     intra_->run_epoch_accesses(measuring);
   } else {
+    const obs::prof::ScopedSpan access_span(obs::prof::Phase::kSerialAccess,
+                                            epoch_);
     bool work_left = true;
     while (work_left) {
       work_left = false;
@@ -164,9 +173,13 @@ void Chip::run_one_epoch(bool measuring) {
     }
   }
 
-  memsys_.end_epoch(cfg_.epoch_cycles);
-  finish_epoch_accounting(measuring);
-  if (measuring && obs_ != nullptr && obs_->timeline_enabled()) sample_timeline();
+  {
+    const obs::prof::ScopedSpan acct_span(obs::prof::Phase::kAccounting, epoch_);
+    memsys_.end_epoch(cfg_.epoch_cycles);
+    finish_epoch_accounting(measuring);
+    if (measuring && obs_ != nullptr && obs_->timeline_enabled())
+      sample_timeline();
+  }
   ++epoch_;
 }
 

@@ -10,7 +10,8 @@
 namespace delta::sim {
 
 IntraEngine::IntraEngine(Chip& chip, unsigned threads)
-    : chip_(chip), pool_(threads) {
+    : chip_(chip), pool_(threads), profile_(threads) {
+  pool_.set_hooks(&profile_);
   const std::size_t cores = static_cast<std::size_t>(chip_.cores());
   stages_.resize(cores);
   for (CoreStage& st : stages_) st.to_bank.resize(cores);
@@ -26,6 +27,7 @@ IntraEngine::IntraEngine(Chip& chip, unsigned threads)
 }
 
 void IntraEngine::stage_core(CoreId c) {
+  const obs::prof::ScopedSite timer(obs::prof::Site::kStageCore);
   const AppSlot& s = chip_.slots_[static_cast<std::size_t>(c)];
   CoreStage& st = stages_[static_cast<std::size_t>(c)];
   const std::uint64_t target = chip_.epoch_targets_[static_cast<std::size_t>(c)];
@@ -50,7 +52,8 @@ void IntraEngine::stage_core(CoreId c) {
   }
 }
 
-void IntraEngine::apply_bank(BankId b) {
+void IntraEngine::apply_bank(BankId b, obs::prof::EngineProfile::MergeScratch* ms) {
+  const obs::prof::ScopedSite timer(obs::prof::Site::kApplyBank);
   const int cores = chip_.cores();
   BankTally& tally = tallies_[static_cast<std::size_t>(b)];
   std::fill(tally.hits.begin(), tally.hits.end(), 0);
@@ -72,6 +75,12 @@ void IntraEngine::apply_bank(BankId b) {
   constexpr std::uint32_t kBatch =
       static_cast<std::uint32_t>(Chip::kInterleaveBatch);
   for (;;) {
+    // The round scan below is the serialization the merge pays for
+    // determinism; at kFull profiling one round in eight is clocked (two
+    // now_ns() reads) so the serial fraction can be estimated without
+    // doubling the scan cost.
+    const bool sample = ms != nullptr && (ms->rounds & 7u) == 0;
+    const std::uint64_t scan_t0 = sample ? obs::prof::now_ns() : 0;
     // Lowest unconsumed round across all cores.
     std::uint32_t round = UINT32_MAX;
     for (int c = 0; c < cores; ++c) {
@@ -79,6 +88,13 @@ void IntraEngine::apply_bank(BankId b) {
                              .to_bank[static_cast<std::size_t>(b)];
       const std::size_t cur = tally.cursor[static_cast<std::size_t>(c)];
       if (cur < list.size()) round = std::min(round, list[cur] / kBatch);
+    }
+    if (ms != nullptr) {
+      ++ms->rounds;
+      if (sample) {
+        ms->scan_ns += obs::prof::now_ns() - scan_t0;
+        ++ms->sampled_rounds;
+      }
     }
     if (round == UINT32_MAX) break;
 
@@ -111,6 +127,7 @@ void IntraEngine::apply_bank(BankId b) {
 }
 
 void IntraEngine::reduce_core(CoreId c, bool measuring) {
+  const obs::prof::ScopedSite timer(obs::prof::Site::kReduceCore);
   AppSlot& s = chip_.slots_[static_cast<std::size_t>(c)];
   const CoreStage& st = stages_[static_cast<std::size_t>(c)];
   const noc::Mesh& mesh = chip_.mesh_;
@@ -131,28 +148,54 @@ void IntraEngine::reduce_core(CoreId c, bool measuring) {
   s.epoch_accesses += st.acc.size();
 }
 
+void IntraEngine::record_buffer_occupancy() {
+  std::uint64_t pairs = 0, nonzero = 0;
+  for (const CoreStage& st : stages_) {
+    for (const auto& list : st.to_bank) {
+      ++pairs;
+      if (!list.empty()) {
+        ++nonzero;
+        profile_.add_occupancy(list.size(), 0, 0);
+      }
+    }
+  }
+  profile_.add_occupancy(0, pairs, nonzero);
+}
+
 void IntraEngine::run_epoch_accesses(bool measuring) {
   const unsigned parties = pool_.parties();
   const std::size_t cores = static_cast<std::size_t>(chip_.cores());
+  const std::uint64_t epoch = chip_.epoch_;
 
+  profile_.begin_section(obs::prof::Phase::kStage, epoch);
   pool_.run([&](unsigned w) {
     const IndexRange r = static_partition(cores, parties, w);
     for (std::size_t c = r.begin; c < r.end; ++c)
       stage_core(static_cast<CoreId>(c));
   });
+  profile_.end_section();
+  if (profile_.armed() && profile_.full()) record_buffer_occupancy();
 
+  profile_.begin_section(obs::prof::Phase::kApply, epoch);
   pool_.run([&](unsigned w) {
+    obs::prof::EngineProfile::MergeScratch* const ms =
+        profile_.armed() && profile_.full() ? &profile_.merge_scratch(w)
+                                            : nullptr;
     const IndexRange r = static_partition(cores, parties, w);
     for (std::size_t b = r.begin; b < r.end; ++b)
-      apply_bank(static_cast<BankId>(b));
+      apply_bank(static_cast<BankId>(b), ms);
   });
+  profile_.end_section();
 
+  profile_.begin_section(obs::prof::Phase::kReduce, epoch);
   pool_.run([&](unsigned w) {
     const IndexRange r = static_partition(cores, parties, w);
     for (std::size_t c = r.begin; c < r.end; ++c)
       reduce_core(static_cast<CoreId>(c), measuring);
   });
+  profile_.end_section();
 
+  const obs::prof::ScopedSpan tail_span(obs::prof::Phase::kSerialTail, epoch);
   // Serial reduction of the integer tallies in fixed bank order.
   std::uint64_t total_remote = 0, total_misses = 0;
   for (std::size_t c = 0; c < cores; ++c) total_remote += remote_[c];
@@ -179,6 +222,7 @@ void IntraEngine::run_epoch_accesses(bool measuring) {
     for (const BankTally& t : tallies_) reqs += t.mcu_reqs[static_cast<std::size_t>(m)];
     chip_.memsys_.mcu(m).add_requests(reqs);
   }
+  profile_.end_epoch(epoch);
 }
 
 std::unique_ptr<IntraEngine> make_intra_engine(Chip& chip, int intra_jobs) {

@@ -45,6 +45,7 @@
 
 #include "common/parallel.hpp"
 #include "common/types.hpp"
+#include "obs/prof/prof.hpp"
 
 namespace delta::sim {
 
@@ -89,14 +90,21 @@ class IntraEngine {
   };
 
   void stage_core(CoreId c);
-  void apply_bank(BankId b);
+  /// `ms` is non-null only when kFull profiling samples the cursor-merge
+  /// scan (1 round in 8); the clock reads live in obs/prof.
+  void apply_bank(BankId b, obs::prof::EngineProfile::MergeScratch* ms);
   void reduce_core(CoreId c, bool measuring);
+  /// Feeds per-(core,bank) staging-list occupancy into the profile (kFull).
+  void record_buffer_occupancy();
 
   Chip& chip_;
   WorkerPool pool_;
   std::vector<CoreStage> stages_;           ///< One per core.
   std::vector<BankTally> tallies_;          ///< One per bank.
   std::vector<std::uint64_t> remote_;       ///< Per core: hop > 0 accesses.
+  /// Phase/barrier spans + derived per-epoch metrics; owns no sim state and
+  /// never feeds back into the computation (determinism contract).
+  obs::prof::EngineProfile profile_;
 };
 
 std::unique_ptr<IntraEngine> make_intra_engine(Chip& chip, int intra_jobs);

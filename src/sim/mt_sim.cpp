@@ -16,6 +16,7 @@
 #include "mem/directory.hpp"
 #include "noc/mcu.hpp"
 #include "noc/mesh.hpp"
+#include "obs/prof/prof.hpp"
 
 namespace delta::sim {
 namespace {
@@ -202,7 +203,8 @@ class MtChip {
 
   /// Applies the staged epoch: bank-parallel segments between coupling
   /// points, coupling points serial, then the sequential stat reduction.
-  void apply_staged(WorkerPool& pool) EXCLUDES(mu_) {
+  void apply_staged(WorkerPool& pool, std::uint64_t epoch) EXCLUDES(mu_) {
+    const obs::prof::ScopedSpan span(obs::prof::Phase::kMtApply, epoch);
     const unsigned parties = pool.parties();
     const std::size_t cores = static_cast<std::size_t>(cfg_.cores);
     const auto run_segment = [&](std::uint32_t limit) {
@@ -498,7 +500,7 @@ MtResult run_multithreaded(const MachineConfig& cfg, const workload::SplashProfi
         total_per_thread - issued_per_thread);
     if (pool != nullptr) {
       chip.stage_epoch(gen, budget);
-      chip.apply_staged(*pool);
+      chip.apply_staged(*pool, epoch);
     } else {
       for (std::uint64_t i = 0; i < budget; ++i)
         for (int t = 0; t < p.threads; ++t) chip.access(gen.next());

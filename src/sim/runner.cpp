@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/parallel.hpp"
+#include "obs/prof/prof.hpp"
 #include "workload/spec.hpp"
 #include "workload/splash.hpp"
 
@@ -68,6 +69,7 @@ std::vector<MixResult> run_sweep(const std::vector<SweepJob>& jobs, unsigned thr
   parallel_for(
       0, resolved.size(),
       [&](std::size_t i) {
+        const obs::prof::ScopedSpan job_span(obs::prof::Phase::kSweepJob, i);
         const SweepJob& j = resolved[i];
         out[i] = run_mix(j.cfg, j.mix, j.kind, j.opts);
       },
@@ -86,6 +88,7 @@ std::vector<MixResult> run_sweep_observed(const std::vector<SweepJob>& jobs,
   parallel_for(
       0, resolved.size(),
       [&](std::size_t i) {
+        const obs::prof::ScopedSpan job_span(obs::prof::Phase::kSweepJob, i);
         const SweepJob& j = resolved[i];
         out[i] = run_mix(j.cfg, j.mix, j.kind, j.opts, observers[i]);
       },

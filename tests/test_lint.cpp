@@ -83,9 +83,28 @@ TEST(LintNondetSource, ProjectRngAndIdentifiersAreClean) {
       "delta::Rng rng(seed);\n"
       "auto x = rng.below(16);\n"
       "double end_time(int c);\n"       // 'time' inside identifier: clean.
-      "int operand = 3; (void)operand;\n"  // 'rand' inside identifier: clean.
-      "auto t0 = std::chrono::steady_clock::now();\n");
+      "int operand = 3; (void)operand;\n");  // 'rand' inside identifier: clean.
   EXPECT_FALSE(has_rule(fs, "nondet-source"));
+}
+
+TEST(LintNondetSource, FlagsSteadyClockOutsideProfSubsystem) {
+  const auto fs = lint(
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "auto t1 = std::chrono::high_resolution_clock::now();\n");
+  EXPECT_EQ(count_rule(fs, "nondet-source"), 2);
+}
+
+TEST(LintNondetSource, SteadyClockAllowedInProfSubsystem) {
+  FileInfo info;
+  info.path_label = "src/obs/prof/prof.hpp";
+  const auto fs = lint(
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "auto t1 = std::chrono::high_resolution_clock::now();\n"
+      "auto bad = std::chrono::system_clock::now();\n",
+      info);
+  // The carve-out covers the monotonic clocks only; wall time that varies
+  // across runs stays banned even inside the profiling subsystem.
+  EXPECT_EQ(count_rule(fs, "nondet-source"), 1);
 }
 
 TEST(LintNondetSource, CommentsAndStringsAreIgnored) {

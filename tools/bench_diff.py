@@ -20,16 +20,37 @@ Exit status: 0 pass, 1 regression/divergence, 2 usage or malformed input.
 """
 import argparse
 import json
+import re
 import sys
 
+SCHEMA_PREFIX = "delta-bench-throughput-v"
 
-def load(path):
+
+def load(path, role):
     try:
         with open(path) as f:
             return json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+    except FileNotFoundError:
+        print(f"bench_diff: {role} file {path!r} does not exist.", file=sys.stderr)
+        if role == "reference":
+            print("bench_diff: regenerate it with: build/bench/micro_throughput "
+                  "--out BENCH_throughput.json", file=sys.stderr)
         sys.exit(2)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {role} file {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def schema_version(doc, path, role):
+    """Returns the integer N of 'delta-bench-throughput-vN', exiting with a
+    clear message (not a traceback) on anything unparseable."""
+    schema = doc.get("schema")
+    m = re.fullmatch(re.escape(SCHEMA_PREFIX) + r"(\d+)", str(schema))
+    if not m:
+        print(f"bench_diff: {role} file {path!r} has unrecognised schema "
+              f"{schema!r} (expected {SCHEMA_PREFIX}N)", file=sys.stderr)
+        sys.exit(2)
+    return int(m.group(1))
 
 
 def main():
@@ -41,13 +62,24 @@ def main():
                          "(default 0.6; absorbs shared-runner noise)")
     args = ap.parse_args()
 
-    ref = load(args.reference)
-    new = load(args.fresh)
+    ref = load(args.reference, "reference")
+    new = load(args.fresh, "fresh")
     failures = []
 
-    if new.get("schema") != ref.get("schema"):
-        failures.append(f"schema mismatch: reference {ref.get('schema')!r} "
-                        f"vs fresh {new.get('schema')!r}")
+    # Versions must match exactly: a fresh run on an older schema means the
+    # harness and the reference drifted apart; compare neither direction.
+    # Unknown keys inside a matching version are ignored (forward-compatible
+    # additions within a version don't need a reference regeneration).
+    ref_v = schema_version(ref, args.reference, "reference")
+    new_v = schema_version(new, args.fresh, "fresh")
+    if ref_v != new_v:
+        older = "reference" if ref_v < new_v else "fresh run"
+        print(f"bench_diff: schema mismatch: reference v{ref_v} vs fresh "
+              f"v{new_v} — the {older} is on an older schema.", file=sys.stderr)
+        print("bench_diff: regenerate the committed reference with: "
+              "build/bench/micro_throughput --out BENCH_throughput.json",
+              file=sys.stderr)
+        sys.exit(2)
 
     for stream in ("hit_heavy", "thrashing"):
         try:
@@ -79,6 +111,15 @@ def main():
         print(f"intra --intra-jobs {p.get('intra_jobs')}: "
               f"{p.get('speedup_vs_serial', 0):.2f}x vs serial (not gated; "
               f"hw_threads={new.get('hw_threads')})")
+    prof = new.get("prof")
+    if isinstance(prof, dict):
+        phases = prof.get("phase_ms", {})
+        breakdown = " ".join(f"{k}={v:.1f}ms" for k, v in phases.items()
+                             if isinstance(v, (int, float)))
+        print(f"prof ({prof.get('intra_jobs')}-way intra): {breakdown} "
+              f"barrier_wait_fraction={prof.get('barrier_wait_fraction')} "
+              f"worker_imbalance_ratio={prof.get('worker_imbalance_ratio')} "
+              f"(not gated)")
 
     if failures:
         for f in failures:

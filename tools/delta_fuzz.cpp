@@ -15,6 +15,9 @@
 
 #include "check/fuzz.hpp"
 #include "common/args.hpp"
+#include "common/log.hpp"
+#include "obs/export.hpp"
+#include "obs/prof/export.hpp"
 
 namespace {
 
@@ -36,6 +39,9 @@ Options:
   --no-determinism    Skip the 1-vs-N-thread byte-identity check.
   --no-lockstep       Use the measured-CPI feedback loop (disables the
                       cross-scheme access-equality assertion).
+  --prof-out F        Engine self-profiling flamegraph (Chrome trace JSON).
+  --metrics-out F     Metrics dump (.prom = Prometheus text, else JSON).
+  --prof-level L      off|phases|full (default: implied by the outputs).
   --help              This text.
 )";
 
@@ -84,7 +90,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> known = {
       "seeds",          "seed-base",      "threads",       "intra-jobs",
       "repro",          "sweep-interval", "out-dir",       "no-invariants",
-      "no-differential","no-determinism", "no-lockstep",   "help"};
+      "no-differential","no-determinism", "no-lockstep",   "prof-out",
+      "metrics-out",    "prof-level",     "help"};
   const auto unknown = args.unknown_flags(known);
   if (!unknown.empty()) {
     for (const auto& f : unknown)
@@ -96,6 +103,26 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, stdout);
     return 0;
   }
+
+  // Self-profiling: same flag semantics as delta_sim (explicit level wins,
+  // otherwise --prof-out implies full and --metrics-out implies phases).
+  delta::obs::prof::init_clock();
+  {
+    delta::obs::prof::ProfLevel lvl = delta::obs::prof::ProfLevel::kOff;
+    if (args.has("prof-level")) {
+      if (!delta::obs::prof::parse_prof_level(args.get("prof-level"), &lvl)) {
+        std::fprintf(stderr, "unknown --prof-level '%s' (off|phases|full)\n",
+                     args.get("prof-level").c_str());
+        return 2;
+      }
+    } else if (args.has("prof-out")) {
+      lvl = delta::obs::prof::ProfLevel::kFull;
+    } else if (args.has("metrics-out")) {
+      lvl = delta::obs::prof::ProfLevel::kPhases;
+    }
+    delta::obs::prof::set_level(lvl);
+  }
+  delta::Logger::install_flush_handlers();
 
   delta::check::FuzzOptions opt;
   opt.base_seed =
@@ -143,5 +170,26 @@ int main(int argc, char** argv) {
   const std::string out_dir = args.get("out-dir");
   if (!out_dir.empty()) write_artifacts(out_dir, report, det, det_checked);
 
-  return report.ok() && (!det_checked || det.ok) ? 0 : 1;
+  bool io_ok = true;
+  if (args.has("prof-out")) {
+    const auto snap = delta::obs::prof::Profiler::instance().snapshot();
+    io_ok &= delta::obs::write_text_file(args.get("prof-out"),
+                                         delta::obs::prof::prof_trace_json(snap));
+    if (!io_ok) std::perror(("writing " + args.get("prof-out")).c_str());
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out");
+    const auto reg = delta::obs::prof::MetricsRegistry::global().snapshot();
+    const bool prom = path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+    const std::string text =
+        prom ? delta::obs::prof::prometheus_text(reg)
+             : delta::obs::prof::metrics_json(
+                   reg, delta::obs::prof::Profiler::instance().snapshot());
+    if (!delta::obs::write_text_file(path, text)) {
+      std::perror(("writing " + path).c_str());
+      io_ok = false;
+    }
+  }
+
+  return report.ok() && (!det_checked || det.ok) && io_ok ? 0 : 1;
 }

@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "common/args.hpp"
+#include "common/log.hpp"
 #include "obs/export.hpp"
 #include "obs/observer.hpp"
+#include "obs/prof/export.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "workload/spec.hpp"
@@ -74,6 +76,9 @@ obs::ObsLevel resolve_obs_level(const ArgParser& args) {
     std::exit(1);
   }
   if (args.has("trace-out")) return obs::ObsLevel::kFull;
+  // The prof flamegraph merges policy events into the span timeline, so the
+  // event trace must be on for the merged view to have both halves.
+  if (args.has("prof-out")) return obs::ObsLevel::kFull;
   if (args.has("timeline-csv")) return obs::ObsLevel::kTimeline;
   if (args.has("json")) return obs::ObsLevel::kSummary;
   return obs::ObsLevel::kOff;
@@ -85,15 +90,37 @@ bool write_or_complain(const std::string& path, const std::string& content) {
   return false;
 }
 
+/// Resolves the self-profiling level: explicit --prof-level wins, otherwise
+/// --prof-out implies full (spans + sites) and --metrics-out implies phases.
+obs::prof::ProfLevel resolve_prof_level(const ArgParser& args) {
+  if (args.has("prof-level")) {
+    obs::prof::ProfLevel lvl;
+    if (!obs::prof::parse_prof_level(args.get("prof-level"), &lvl)) {
+      std::fprintf(stderr, "unknown --prof-level '%s' (off|phases|full)\n",
+                   args.get("prof-level").c_str());
+      std::exit(1);
+    }
+    return lvl;
+  }
+  if (args.has("prof-out")) return obs::prof::ProfLevel::kFull;
+  if (args.has("metrics-out")) return obs::prof::ProfLevel::kPhases;
+  return obs::prof::ProfLevel::kOff;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() && s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const std::vector<std::string> known = {
-      "mix",        "apps",         "scheme", "cores",     "epochs",
-      "warmup",     "seed",         "csv",    "list",      "central-ms",
-      "trace-out",  "timeline-csv", "json",   "obs-level", "jobs",
-      "intra-jobs", "help",
+      "mix",        "apps",         "scheme",   "cores",       "epochs",
+      "warmup",     "seed",         "csv",      "list",        "central-ms",
+      "trace-out",  "timeline-csv", "json",     "obs-level",   "jobs",
+      "intra-jobs", "prof-out",     "prof-level", "metrics-out", "help",
   };
   if (!args.unknown_flags(known).empty() || args.has("help")) {
     for (const auto& f : args.unknown_flags(known))
@@ -111,13 +138,26 @@ int main(int argc, char** argv) {
                  "                 [--intra-jobs N]   (threads inside each "
                  "simulation; 1 = serial, 0 = auto;\n"
                  "                                     byte-identical results "
-                 "at any value)\n");
+                 "at any value)\n"
+                 "                 [--prof-out prof.json]   (engine "
+                 "self-profiling flamegraph, Chrome trace format)\n"
+                 "                 [--metrics-out m.json|m.prom]   (metrics "
+                 "dump; .prom = Prometheus text)\n"
+                 "                 [--prof-level off|phases|full]\n");
     return args.has("help") ? 0 : 1;
   }
   if (args.has("list")) {
     list_everything();
     return 0;
   }
+
+  // Self-profiling setup: pin the clock origin before any worker threads
+  // exist and arm the level before chips are constructed, so every span of
+  // the run lands in the same timeline.  Flush handlers make sure buffered
+  // logs (and nothing else) survive an abort mid-run.
+  obs::prof::init_clock();
+  obs::prof::set_level(resolve_prof_level(args));
+  Logger::install_flush_handlers();
 
   sim::MachineConfig cfg =
       args.get_int("cores", 16) == 64 ? sim::config64() : sim::config16();
@@ -155,7 +195,8 @@ int main(int argc, char** argv) {
   opts.central_interval_epochs = static_cast<int>(args.get_double("central-ms", 1.0) * 10);
 
   const bool wants_obs = args.has("trace-out") || args.has("timeline-csv") ||
-                         args.has("json") || args.has("obs-level");
+                         args.has("json") || args.has("obs-level") ||
+                         args.has("prof-out");
   std::unique_ptr<obs::Observer> observer;
   if (wants_obs) observer = std::make_unique<obs::Observer>(resolve_obs_level(args));
 
@@ -254,6 +295,23 @@ int main(int argc, char** argv) {
       std::fputs(summary.c_str(), stdout);
     } else {
       io_ok &= write_or_complain(path, summary);
+    }
+  }
+  if (args.has("prof-out")) {
+    const obs::prof::ProfSnapshot snap = obs::prof::Profiler::instance().snapshot();
+    io_ok &= write_or_complain(args.get("prof-out"),
+                               obs::prof::prof_trace_json(snap, observer.get()));
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out");
+    const obs::prof::RegistrySnapshot reg =
+        obs::prof::MetricsRegistry::global().snapshot();
+    if (ends_with(path, ".prom") || ends_with(path, ".txt")) {
+      io_ok &= write_or_complain(path, obs::prof::prometheus_text(reg));
+    } else {
+      const obs::prof::ProfSnapshot snap =
+          obs::prof::Profiler::instance().snapshot();
+      io_ok &= write_or_complain(path, obs::prof::metrics_json(reg, snap));
     }
   }
   return io_ok ? 0 : 1;
