@@ -28,6 +28,7 @@ delta_bench(ablation_params)
 delta_bench(ablation_cbt_bits)
 delta_bench(ext_mt_integrated)
 delta_bench(ext_underutilized)
+delta_bench(shootout)
 delta_bench(micro_obs_overhead)
 delta_bench(micro_prof_overhead)
 delta_bench(micro_throughput)

@@ -1,0 +1,66 @@
+#include "alloc/auction.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace delta::alloc {
+namespace {
+
+/// Marginal utility of growing app `i` by one lot, or 0 when the curve is
+/// flat there (clamped reads make over-the-end lots worthless).
+double lot_utility(const umon::MissCurve& curve, int cur, int lot) {
+  if (curve.empty()) return 0.0;
+  const double saved = curve.saved(cur, cur + lot);
+  return saved > 0.0 ? saved / static_cast<double>(lot) : 0.0;
+}
+
+}  // namespace
+
+AuctionResult clear_auction(const AuctionRequest& req) {
+  const std::size_t n = req.curves.size();
+  assert(req.budgets.size() == n);
+  const int lot = std::max(1, req.lot_ways);
+
+  AuctionResult out;
+  out.ways.assign(n, req.min_ways);  // The floor is granted for free.
+  out.spent.assign(n, 0.0);
+  if (n == 0) return out;
+
+  int pool = req.total_ways - static_cast<int>(n) * req.min_ways;
+  std::vector<double> remaining = req.budgets;
+
+  while (pool >= lot) {
+    // Sealed-bid round: every un-capped application with budget left bids
+    // min(remaining budget, marginal utility of one more lot).
+    double best = 0.0, second = 0.0;
+    std::size_t winner = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (req.max_ways > 0 && out.ways[i] + lot > req.max_ways) continue;
+      const double bid =
+          std::min(remaining[i], lot_utility(req.curves[i], out.ways[i], lot));
+      if (bid <= 0.0) continue;
+      ++out.bids;
+      if (bid > best) {  // Strict: ties keep the lowest-index bidder.
+        second = best;
+        best = bid;
+        winner = i;
+      } else if (bid > second) {
+        second = bid;
+      }
+    }
+    if (winner == n) break;  // Market cleared: no positive bids remain.
+
+    // Vickrey payment: the winner pays the runner-up's bid (its own when it
+    // bid unopposed).  Payment <= bid <= remaining budget, so spent can
+    // never exceed the application's budget.
+    const double pay = second > 0.0 ? second : best;
+    out.spent[winner] += pay;
+    remaining[winner] -= pay;
+    out.ways[winner] += lot;
+    pool -= lot;
+    ++out.rounds;
+  }
+  return out;
+}
+
+}  // namespace delta::alloc

@@ -1,0 +1,46 @@
+// CARMA-style sealed-bid way auction (market-based cache allocation).
+//
+// Each application holds a per-auction spending budget and bids its marginal
+// utility — the misses its curve says one more lot of ways would avoid — in
+// repeated sealed-bid rounds.  Every round the highest bidder wins one lot
+// and pays the second-highest bid (Vickrey pricing), so truthful bidding is
+// the dominant strategy; the paid amount is deducted from the winner's
+// budget.  Budgets give every application equal purchasing power regardless
+// of its absolute access rate, which is the market mechanism's fairness
+// argument: callers should normalise curves (e.g. to misses per kilo-access)
+// before bidding so utility units are comparable across applications.
+//
+// The clearing process is fully deterministic: ties break toward the lowest
+// application index, and no randomness or iteration-order dependence exists
+// anywhere in the loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "umon/miss_curve.hpp"
+
+namespace delta::alloc {
+
+struct AuctionRequest {
+  std::vector<umon::MissCurve> curves;  ///< One per application (normalised).
+  std::vector<double> budgets;          ///< Spending budget per application.
+  int total_ways = 0;                   ///< Chip-wide balance to distribute.
+  int min_ways = 1;                     ///< Free floor per application.
+  int max_ways = 0;                     ///< Cap per application (0 = no cap).
+  int lot_ways = 1;                     ///< Ways sold per auction round.
+};
+
+struct AuctionResult {
+  std::vector<int> ways;      ///< Allocation per application (>= min_ways).
+  std::vector<double> spent;  ///< Budget consumed; spent[i] <= budgets[i].
+  std::uint64_t rounds = 0;   ///< Rounds run (== lots sold).
+  std::uint64_t bids = 0;     ///< Individual bids submitted across rounds.
+};
+
+/// Clears the auction.  `req.total_ways` must be >= N * min_ways; leftover
+/// ways (nobody bids, or everyone is capped/broke) stay unsold so callers
+/// can return them to home banks.
+AuctionResult clear_auction(const AuctionRequest& req);
+
+}  // namespace delta::alloc

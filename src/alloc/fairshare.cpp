@@ -1,0 +1,109 @@
+#include "alloc/fairshare.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace delta::alloc {
+namespace {
+
+/// Estimated CPI of one application given `ways` of capacity, under the
+/// flat hit/miss latency model (the stand-alone classification model of
+/// workload/classify.hpp, not the full NoC simulation).
+double est_cpi(const umon::MissCurve& curve, double accesses, int ways,
+               const FairShareConfig& cfg) {
+  if (curve.empty() || accesses <= 0.0) return cfg.hit_latency;
+  const double misses = std::min(curve.at(ways), accesses);
+  return (cfg.hit_latency * (accesses - misses) + cfg.miss_latency * misses) /
+         accesses;
+}
+
+}  // namespace
+
+CurveClass classify_curve(const umon::MissCurve& curve, double accesses,
+                          const FairShareConfig& cfg) {
+  if (curve.empty() || accesses <= 0.0) return CurveClass::kStreaming;
+  // Sensitive first: capacity buys real CPI.  Among the insensitive rest,
+  // curves that still miss heavily at full capacity are thrashing (they
+  // pressure whatever they share); flat low-pressure curves are streaming.
+  const double cpi_few = est_cpi(curve, accesses, 1, cfg);
+  const double cpi_full = est_cpi(curve, accesses, cfg.ways_per_bank, cfg);
+  const double improvement = cpi_full > 0.0 ? cpi_few / cpi_full - 1.0 : 0.0;
+  if (improvement > cfg.sensitivity_threshold) return CurveClass::kSensitive;
+  const double mpka_full = 1000.0 * curve.at(cfg.ways_per_bank) / accesses;
+  return mpka_full > cfg.thrashing_mpka ? CurveClass::kThrashing
+                                        : CurveClass::kStreaming;
+}
+
+FairShareResult fair_partition(const FairShareRequest& req) {
+  assert(req.accesses.size() == req.curves.size());
+  const FairShareConfig& cfg = req.cfg;
+  const int kW = cfg.ways_per_bank;
+
+  FairShareResult out;
+  out.cls.reserve(req.curves.size());
+  for (std::size_t i = 0; i < req.curves.size(); ++i) {
+    const CurveClass c = classify_curve(req.curves[i], req.accesses[i], cfg);
+    out.cls.push_back(c);
+    ++out.members[static_cast<std::size_t>(c)];
+  }
+
+  int populated = 0;
+  for (int c = 0; c < kNumCurveClasses; ++c)
+    populated += out.members[static_cast<std::size_t>(c)] > 0 ? 1 : 0;
+  if (populated == 0) {
+    // No applications: park the whole cache on the sensitive cluster so
+    // idle cores still see a non-empty insertion slice.
+    out.cluster_ways[static_cast<std::size_t>(CurveClass::kSensitive)] = kW;
+    return out;
+  }
+
+  // Every populated cluster starts from a floor small enough that the
+  // floors always fit; the rest is granted by slowdown equalisation.
+  const int floor = std::max(1, std::min(cfg.min_cluster_ways, kW / populated));
+  int remaining = kW;
+  for (int c = 0; c < kNumCurveClasses; ++c) {
+    if (out.members[static_cast<std::size_t>(c)] == 0) continue;
+    out.cluster_ways[static_cast<std::size_t>(c)] = floor;
+    remaining -= floor;
+  }
+  assert(remaining >= 0);
+
+  // Average slowdown of cluster `c` if its slice were `ways` wide: members
+  // share the slice, so each effectively sees ways / members (>= 1).
+  auto cluster_slowdown = [&](int c, int ways) {
+    const int m = out.members[static_cast<std::size_t>(c)];
+    const int eff = std::max(1, ways / m);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < req.curves.size(); ++i) {
+      if (out.cls[i] != static_cast<CurveClass>(c)) continue;
+      const double full = est_cpi(req.curves[i], req.accesses[i], kW, cfg);
+      sum += full > 0.0 ? est_cpi(req.curves[i], req.accesses[i], eff, cfg) / full
+                        : 1.0;
+    }
+    return sum / static_cast<double>(m);
+  };
+
+  while (remaining > 0) {
+    int worst = -1;
+    double worst_sd = 0.0;
+    for (int c = 0; c < kNumCurveClasses; ++c) {
+      if (out.members[static_cast<std::size_t>(c)] == 0) continue;
+      const double sd =
+          cluster_slowdown(c, out.cluster_ways[static_cast<std::size_t>(c)]);
+      if (worst == -1 || sd > worst_sd) {  // Strict: ties keep lowest index.
+        worst = c;
+        worst_sd = sd;
+      }
+    }
+    ++out.cluster_ways[static_cast<std::size_t>(worst)];
+    --remaining;
+  }
+
+  for (int c = 0; c < kNumCurveClasses; ++c)
+    if (out.members[static_cast<std::size_t>(c)] > 0)
+      out.slowdown[static_cast<std::size_t>(c)] =
+          cluster_slowdown(c, out.cluster_ways[static_cast<std::size_t>(c)]);
+  return out;
+}
+
+}  // namespace delta::alloc

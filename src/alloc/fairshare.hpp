@@ -1,0 +1,63 @@
+// LFOC-style fairness clustering: group applications by miss-curve shape
+// and size one shared way-partition per cluster.
+//
+// Applications are classified from their UMON miss curves into three
+// clusters — streaming (insensitive: extra ways barely help), cache-
+// sensitive (ways buy real CPI improvement) and thrashing (misses stay high
+// even at full capacity) — mirroring the Sec. III-B workload classes.  Each
+// non-empty cluster then receives a contiguous slice of every bank's ways,
+// sized by ANTT-style slowdown equalisation: ways are granted one at a time
+// to the cluster whose estimated average slowdown (vs. running with the full
+// cache) is currently worst, with in-cluster sharing modelled as an equal
+// split of the slice among members.  The slices always sum to exactly
+// ways_per_bank, so cluster partitions are disjoint and exhaustive by
+// construction.  Everything is deterministic: ties break toward the lowest
+// cluster index.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "umon/miss_curve.hpp"
+
+namespace delta::alloc {
+
+enum class CurveClass : int { kStreaming = 0, kSensitive = 1, kThrashing = 2 };
+inline constexpr int kNumCurveClasses = 3;
+
+struct FairShareConfig {
+  int ways_per_bank = 16;
+  int min_cluster_ways = 2;             ///< Floor per non-empty cluster.
+  double sensitivity_threshold = 0.10;  ///< Relative CPI gain, few -> full ways.
+  /// Thrashing split for ways-insensitive curves: misses per kilo-access at
+  /// full capacity (300 = a 30% miss ratio keeps pressuring the cache).
+  double thrashing_mpka = 300.0;
+  // Single-bank latency model matching workload/classify.hpp's constants.
+  double hit_latency = 11.0;
+  double miss_latency = 350.0;
+};
+
+/// Classifies one application's miss curve; `accesses` is the curve's
+/// sampling window (used to normalise misses to per-kilo-access rates).
+CurveClass classify_curve(const umon::MissCurve& curve, double accesses,
+                          const FairShareConfig& cfg);
+
+struct FairShareRequest {
+  std::vector<umon::MissCurve> curves;  ///< One per application.
+  std::vector<double> accesses;         ///< Same window as each curve.
+  FairShareConfig cfg;
+};
+
+struct FairShareResult {
+  std::vector<CurveClass> cls;                         ///< Per application.
+  std::array<int, kNumCurveClasses> cluster_ways{};    ///< Sums to ways_per_bank.
+  std::array<int, kNumCurveClasses> members{};         ///< Apps per cluster.
+  std::array<double, kNumCurveClasses> slowdown{};     ///< Final estimate.
+};
+
+/// Sizes the three cluster partitions.  Empty clusters get 0 ways; the
+/// populated ones share all ways_per_bank ways (with no applications at all,
+/// the sensitive cluster keeps the full cache).
+FairShareResult fair_partition(const FairShareRequest& req);
+
+}  // namespace delta::alloc

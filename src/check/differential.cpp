@@ -52,6 +52,50 @@ void check_one(const sim::MixResult& r, std::vector<Violation>& out) {
           static_cast<std::int64_t>(r.invalidated_lines), 0,
           r.scheme + ": static scheme invalidated lines"});
   }
+
+  // LFOC resizes shared way slices over a static S-NUCA mapping: addresses
+  // never remap, so it must not invalidate a single line, and its control
+  // plane is purely collect/broadcast pairs (one of each per tile and
+  // reconfiguration — never auction traffic).
+  if (r.scheme == "lfoc") {
+    if (r.invalidated_lines != 0 ||
+        r.traffic.total(MsgType::kInvalidation) != 0)
+      out.push_back(Violation{
+          InvariantKind::kStaticControl, 0, kInvalidCore, kInvalidBank,
+          static_cast<std::int64_t>(r.invalidated_lines), 0,
+          r.scheme + ": slice resize must not invalidate lines"});
+    if (r.traffic.total(MsgType::kCentralCollect) !=
+        r.traffic.total(MsgType::kCentralBroadcast))
+      out.push_back(Violation{
+          InvariantKind::kStaticControl, 0, kInvalidCore, kInvalidBank,
+          static_cast<std::int64_t>(r.traffic.total(MsgType::kCentralCollect)),
+          static_cast<std::int64_t>(r.traffic.total(MsgType::kCentralBroadcast)),
+          r.scheme + ": collect/broadcast messages must pair up"});
+    if (r.control.market != 0)
+      out.push_back(Violation{
+          InvariantKind::kStaticControl, 0, kInvalidCore, kInvalidBank,
+          static_cast<std::int64_t>(r.control.market), 0,
+          r.scheme + ": clustering scheme emitted auction traffic"});
+  }
+
+  // CARMA clears sealed-bid auctions: a way lot is only ever granted to a
+  // round's bidder, so grants can never outnumber bids, and its hub-style
+  // collect/broadcast counters stay untouched.
+  if (r.scheme == "carma") {
+    if (r.traffic.total(MsgType::kMarketGrant) >
+        r.traffic.total(MsgType::kMarketBid))
+      out.push_back(Violation{
+          InvariantKind::kStaticControl, 0, kInvalidCore, kInvalidBank,
+          static_cast<std::int64_t>(r.traffic.total(MsgType::kMarketGrant)),
+          static_cast<std::int64_t>(r.traffic.total(MsgType::kMarketBid)),
+          r.scheme + ": auction granted more lots than bids were placed"});
+    if (r.traffic.total(MsgType::kCentralCollect) != 0 ||
+        r.traffic.total(MsgType::kCentralBroadcast) != 0)
+      out.push_back(Violation{
+          InvariantKind::kStaticControl, 0, kInvalidCore, kInvalidBank,
+          static_cast<std::int64_t>(r.control.central), 0,
+          r.scheme + ": auction scheme emitted centralized-hub traffic"});
+  }
 }
 
 }  // namespace

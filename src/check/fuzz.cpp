@@ -88,12 +88,11 @@ FuzzCaseResult run_fuzz_case(std::uint64_t seed, const FuzzOptions& opt) {
     out.mix_desc += a;
   }
 
-  constexpr std::array<sim::SchemeKind, 4> kSchemes = {
-      sim::SchemeKind::kSnuca, sim::SchemeKind::kPrivate,
-      sim::SchemeKind::kIdealCentralized, sim::SchemeKind::kDelta};
+  // The full scheme pool: the paper's four plus the literature-comparison
+  // pair (carma, lfoc), all cross-checked by the same oracle.
   std::vector<sim::MixResult> results;
-  results.reserve(kSchemes.size());
-  for (sim::SchemeKind kind : kSchemes) {
+  results.reserve(sim::kAllSchemeKinds.size());
+  for (sim::SchemeKind kind : sim::kAllSchemeKinds) {
     CheckerOptions copts;
     copts.sweep_interval = opt.sweep_interval;
     InvariantChecker checker(copts);

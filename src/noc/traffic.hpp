@@ -19,6 +19,8 @@ enum class MsgType : int {
   kInvalidation,      ///< Bulk-invalidation sweep commands.
   kCentralCollect,    ///< Centralized scheme: miss-curve collection to hub.
   kCentralBroadcast,  ///< Centralized scheme: allocation broadcast from hub.
+  kMarketBid,         ///< CARMA auction: sealed per-round bid submission.
+  kMarketGrant,       ///< CARMA auction: way-lot grant to a round winner.
   kCount
 };
 
@@ -35,6 +37,8 @@ constexpr std::string_view msg_type_name(MsgType t) {
     case MsgType::kInvalidation: return "invalidation";
     case MsgType::kCentralCollect: return "central_collect";
     case MsgType::kCentralBroadcast: return "central_broadcast";
+    case MsgType::kMarketBid: return "market_bid";
+    case MsgType::kMarketGrant: return "market_grant";
     case MsgType::kCount: break;
   }
   return "?";
@@ -51,7 +55,8 @@ class TrafficStats {
   std::uint64_t control_messages() const {
     return total(MsgType::kChallenge) + total(MsgType::kChallengeResponse) +
            total(MsgType::kIntraFeedback) + total(MsgType::kHandover) +
-           total(MsgType::kCentralCollect) + total(MsgType::kCentralBroadcast);
+           total(MsgType::kCentralCollect) + total(MsgType::kCentralBroadcast) +
+           total(MsgType::kMarketBid) + total(MsgType::kMarketGrant);
   }
 
   /// Demand traffic (LLC requests/responses and memory traffic).

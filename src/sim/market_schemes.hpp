@@ -1,0 +1,15 @@
+// Factories for the literature-comparison schemes (internal to src/sim):
+// the CARMA sealed-bid way auction and the LFOC fairness-clustering policy.
+// Dispatched from make_scheme() in schemes.cpp.
+#pragma once
+
+#include <memory>
+
+#include "sim/scheme.hpp"
+
+namespace delta::sim {
+
+std::unique_ptr<Scheme> make_carma_scheme(SchemeOptions opts);
+std::unique_ptr<Scheme> make_lfoc_scheme(SchemeOptions opts);
+
+}  // namespace delta::sim

@@ -16,6 +16,8 @@ ControlBreakdown control_breakdown(const noc::TrafficStats& t) {
   b.handover = t.total(noc::MsgType::kHandover);
   b.central = t.total(noc::MsgType::kCentralCollect) +
               t.total(noc::MsgType::kCentralBroadcast);
+  b.market = t.total(noc::MsgType::kMarketBid) +
+             t.total(noc::MsgType::kMarketGrant);
   return b;
 }
 

@@ -33,9 +33,10 @@ struct ControlBreakdown {
   std::uint64_t invalidation = 0;  ///< Bulk-invalidation sweep commands.
   std::uint64_t handover = 0;      ///< Idle-bank handover notifications.
   std::uint64_t central = 0;       ///< Centralized collect + broadcast.
+  std::uint64_t market = 0;        ///< CARMA auction bids + grants.
 
   std::uint64_t total() const {
-    return challenge + feedback + invalidation + handover + central;
+    return challenge + feedback + invalidation + handover + central + market;
   }
 };
 

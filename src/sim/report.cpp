@@ -55,9 +55,11 @@ void append_result_json(std::string& out, const MixResult& r) {
   }
   appendf(out, "},\"control\":{\"challenge\":%" PRIu64 ",\"feedback\":%" PRIu64
                ",\"invalidation\":%" PRIu64 ",\"handover\":%" PRIu64
-               ",\"central\":%" PRIu64 ",\"total\":%" PRIu64 "},",
+               ",\"central\":%" PRIu64 ",\"market\":%" PRIu64
+               ",\"total\":%" PRIu64 "},",
           r.control.challenge, r.control.feedback, r.control.invalidation,
-          r.control.handover, r.control.central, r.control.total());
+          r.control.handover, r.control.central, r.control.market,
+          r.control.total());
   out += "\"apps\":[";
   for (std::size_t i = 0; i < r.apps.size(); ++i) {
     if (i != 0) out += ',';
@@ -98,10 +100,11 @@ std::string text_report(const MixResult& r, const MixResult* baseline) {
     appendf(out, "  (%.3fx vs %s)", speedup(r, *baseline), baseline->scheme.c_str());
   appendf(out, "; control msgs %" PRIu64 " (challenge %" PRIu64 ", feedback %" PRIu64
                ", invalidation %" PRIu64 ", handover %" PRIu64 ", central %" PRIu64
-               "), demand msgs %" PRIu64 ", invalidated lines %" PRIu64 "\n",
+               ", market %" PRIu64 "), demand msgs %" PRIu64
+               ", invalidated lines %" PRIu64 "\n",
           r.control.total(), r.control.challenge, r.control.feedback,
           r.control.invalidation, r.control.handover, r.control.central,
-          r.traffic.demand_messages(), r.invalidated_lines);
+          r.control.market, r.traffic.demand_messages(), r.invalidated_lines);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
 #include <thread>
@@ -99,20 +100,34 @@ std::vector<MixResult> run_sweep_observed(const std::vector<SweepJob>& jobs,
 std::vector<SchemeComparison> compare_schemes_sweep(
     const MachineConfig& cfg, const std::vector<workload::Mix>& mixes,
     unsigned threads) {
-  std::vector<SweepJob> jobs;
-  jobs.reserve(mixes.size() * 4);
-  for (const workload::Mix& mix : mixes)
-    for (SchemeKind kind : {SchemeKind::kSnuca, SchemeKind::kPrivate,
-                            SchemeKind::kIdealCentralized, SchemeKind::kDelta})
-      jobs.push_back(SweepJob{cfg, mix, kind, {}});
-  const std::vector<MixResult> results = run_sweep(jobs, threads);
+  constexpr std::array<SchemeKind, 4> kFour = {
+      SchemeKind::kSnuca, SchemeKind::kPrivate, SchemeKind::kIdealCentralized,
+      SchemeKind::kDelta};
+  const std::vector<std::vector<MixResult>> results =
+      run_schemes_sweep(cfg, mixes, kFour, threads);
   std::vector<SchemeComparison> out(mixes.size());
   for (std::size_t m = 0; m < mixes.size(); ++m) {
-    out[m].snuca = results[m * 4 + 0];
-    out[m].private_llc = results[m * 4 + 1];
-    out[m].ideal = results[m * 4 + 2];
-    out[m].delta = results[m * 4 + 3];
+    out[m].snuca = results[m][0];
+    out[m].private_llc = results[m][1];
+    out[m].ideal = results[m][2];
+    out[m].delta = results[m][3];
   }
+  return out;
+}
+
+std::vector<std::vector<MixResult>> run_schemes_sweep(
+    const MachineConfig& cfg, const std::vector<workload::Mix>& mixes,
+    std::span<const SchemeKind> kinds, unsigned threads, SchemeOptions opts) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(mixes.size() * kinds.size());
+  for (const workload::Mix& mix : mixes)
+    for (SchemeKind kind : kinds) jobs.push_back(SweepJob{cfg, mix, kind, opts});
+  const std::vector<MixResult> results = run_sweep(jobs, threads);
+  std::vector<std::vector<MixResult>> out(mixes.size());
+  for (std::size_t m = 0; m < mixes.size(); ++m)
+    out[m].assign(results.begin() + static_cast<std::ptrdiff_t>(m * kinds.size()),
+                  results.begin() +
+                      static_cast<std::ptrdiff_t>((m + 1) * kinds.size()));
   return out;
 }
 

@@ -2,6 +2,7 @@
 // under all four, on the 16- or 64-core machine.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -86,5 +87,13 @@ std::vector<MixResult> run_sweep_observed(const std::vector<SweepJob>& jobs,
 std::vector<SchemeComparison> compare_schemes_sweep(
     const MachineConfig& cfg, const std::vector<workload::Mix>& mixes,
     unsigned threads = 0);
+
+/// The general form: any scheme set (e.g. kAllSchemeKinds for the six-way
+/// shootout) over many mixes as one sweep.  result[m][k] is mix `m` under
+/// kinds[k]; determinism guarantee as run_sweep.
+std::vector<std::vector<MixResult>> run_schemes_sweep(
+    const MachineConfig& cfg, const std::vector<workload::Mix>& mixes,
+    std::span<const SchemeKind> kinds, unsigned threads = 0,
+    SchemeOptions opts = {});
 
 }  // namespace delta::sim

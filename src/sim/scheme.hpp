@@ -4,10 +4,13 @@
 // core's address map to, and which ways may the core insert into — and gets
 // a begin_epoch() hook for reconfiguration.  The four schemes of the
 // paper's evaluation (unpartitioned S-NUCA, private/equal-partitioned LLC,
-// the ideal zero-overhead centralized allocator, and DELTA itself) are
-// created through make_scheme().
+// the ideal zero-overhead centralized allocator, and DELTA itself) plus the
+// two literature-comparison allocators (CARMA's way auction, LFOC's
+// fairness clustering) are created through make_scheme(); docs/schemes.md
+// describes all six.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -31,7 +34,19 @@ struct BankTarget {
   std::uint32_t set = 0;
 };
 
-enum class SchemeKind { kSnuca, kPrivate, kIdealCentralized, kDelta };
+enum class SchemeKind {
+  kSnuca,
+  kPrivate,
+  kIdealCentralized,
+  kDelta,
+  kCarma,  ///< Market-based: sealed-bid way auction (CARMA, PAPERS.md).
+  kLfoc,   ///< Fairness clustering: shared per-class slices (LFOC, PAPERS.md).
+};
+
+/// Every scheme the shootout harnesses compare, in canonical order.
+inline constexpr std::array<SchemeKind, 6> kAllSchemeKinds = {
+    SchemeKind::kSnuca,   SchemeKind::kPrivate, SchemeKind::kIdealCentralized,
+    SchemeKind::kDelta,   SchemeKind::kCarma,   SchemeKind::kLfoc};
 
 std::string_view to_string(SchemeKind k);
 
@@ -45,7 +60,7 @@ std::string_view to_string(SchemeKind k);
 //     epoch-constant state — called concurrently for *different* banks,
 //     serially within one bank in the canonical access order.
 // Anything cross-bank (reallocation, challenges, bulk invalidation) belongs
-// in begin_epoch(), which runs on the epoch barrier.  All four in-tree
+// in begin_epoch(), which runs on the epoch barrier.  All six in-tree
 // schemes satisfy this; test_intra enforces it end to end and the TSan CI
 // job watches for violations dynamically.
 class Scheme {
@@ -90,6 +105,16 @@ struct SchemeOptions {
   /// Reconfiguration interval for the centralized scheme, in epochs
   /// (10 = 1 ms as in the paper; 1000 = 100 ms for the Fig. 13 study).
   int central_interval_epochs = 10;
+  /// Reconfiguration cadence of the market/clustering schemes (carma, lfoc).
+  int market_interval_epochs = 10;
+  /// CARMA: per-application spending budget per auction, in normalised
+  /// misses-per-kilo-access utility units.  Equal budgets are the market's
+  /// fairness mechanism; a smaller budget makes allocations stickier.
+  double carma_budget = 64.0;
+  /// CARMA: ways sold per auction round.
+  int carma_lot_ways = 1;
+  /// LFOC: way floor granted to every populated cluster in each bank.
+  int lfoc_min_cluster_ways = 2;
 };
 
 std::unique_ptr<Scheme> make_scheme(SchemeKind kind, SchemeOptions opts = {});

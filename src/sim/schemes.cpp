@@ -11,6 +11,8 @@
 #include "core/controller.hpp"
 #include "mem/address.hpp"
 #include "sim/chip.hpp"
+#include "sim/market_schemes.hpp"
+#include "sim/scheme_common.hpp"
 
 namespace delta::sim {
 namespace {
@@ -221,16 +223,7 @@ class IdealCentralScheme final : public Scheme {
 
   std::string_view name() const override { return "ideal-central"; }
 
-  void reset(Chip& chip) override {
-    const int n = chip.cores();
-    wp_.clear();
-    cbts_.clear();
-    for (int t = 0; t < n; ++t) {
-      wp_.emplace_back(chip.config().ways_per_bank, static_cast<CoreId>(t));
-      cbts_.emplace_back(static_cast<BankId>(t),
-                         chip.config().delta.reverse_chunk_bits);
-    }
-  }
+  void reset(Chip& chip) override { init_central_state(chip, wp_, cbts_); }
 
   void begin_epoch(Chip& chip, std::uint64_t epoch) override {
     if (opts_.central_interval_epochs <= 0 ||
@@ -306,64 +299,7 @@ class IdealCentralScheme final : public Scheme {
     preq.reserved_home_ways = chip.config().delta.min_ways;
     const alloc::Placement placement = alloc::place_allocations(preq);
 
-    // Re-own ways bank by bank: home app's ways first, then guests by core
-    // id, assigned to ascending way indices deterministically.
-    for (int b = 0; b < n; ++b) {
-      core::WpUnit unit(chip.config().ways_per_bank, kInvalidCore);
-      int w = 0;
-      auto fill = [&](std::size_t app_idx) {
-        const int count = placement[app_idx][static_cast<std::size_t>(b)];
-        for (int i = 0; i < count && w < chip.config().ways_per_bank; ++i)
-          unit.set_owner(w++, static_cast<CoreId>(active_core[app_idx]));
-      };
-      // Home app first for a stable "home ways at the bottom" layout.
-      for (std::size_t a = 0; a < active_core.size(); ++a)
-        if (active_core[a] == b) fill(a);
-      for (std::size_t a = 0; a < active_core.size(); ++a)
-        if (active_core[a] != b) fill(a);
-      // Unassigned ways default to the home core so idle capacity stays local.
-      for (; w < chip.config().ways_per_bank; ++w)
-        unit.set_owner(w, static_cast<CoreId>(b));
-      wp_[static_cast<std::size_t>(b)] = unit;
-    }
-
-    // Rebuild CBTs (banks ordered home-first then by distance) and apply
-    // the invalidations the remaps imply.
-    for (std::size_t a = 0; a < active_core.size(); ++a) {
-      const CoreId core = static_cast<CoreId>(active_core[a]);
-      std::vector<std::pair<BankId, int>> bank_ways;
-      bank_ways.emplace_back(static_cast<BankId>(core),
-                             placement[a][static_cast<std::size_t>(core)]);
-      for (int b : chip.mesh().by_distance(core)) {
-        const int ways = placement[a][static_cast<std::size_t>(b)];
-        if (ways > 0) bank_ways.emplace_back(static_cast<BankId>(b), ways);
-      }
-      if (bank_ways.size() == 1 && bank_ways[0].second == 0)
-        bank_ways[0].second = 1;  // Degenerate: keep home mapping.
-
-      core::Cbt& cbt = cbts_[static_cast<std::size_t>(core)];
-      // DELTA-enforcement semantics (Sec. II-C1): the CBT is updated only
-      // when capacity expands to / retreats from a bank; pure way-count
-      // drift inside already-held banks does not remap addresses.
-      bool bank_set_changed = false;
-      {
-        std::vector<BankId> old_banks, new_banks;
-        for (const auto& r : cbt.ranges()) old_banks.push_back(r.bank);
-        for (const auto& [bank, ways] : bank_ways) new_banks.push_back(bank);
-        std::sort(old_banks.begin(), old_banks.end());
-        std::sort(new_banks.begin(), new_banks.end());
-        bank_set_changed = old_banks != new_banks;
-      }
-      if (!bank_set_changed) continue;
-      const core::Cbt prev = cbt;
-      cbt.rebuild(bank_ways, chip.event_sink(), epoch, core);
-
-      std::map<BankId, std::vector<int>> moved;
-      for (int chunk : cbt.changed_chunks(prev))
-        moved[prev.bank_for_chunk(chunk)].push_back(chunk);
-      for (const auto& [old_bank, chunks] : moved)
-        chip.invalidate_core_chunks(core, old_bank, chunks);
-    }
+    apply_central_placement(chip, epoch, active_core, placement, wp_, cbts_);
   }
 
   SchemeOptions opts_;
@@ -379,6 +315,8 @@ std::string_view to_string(SchemeKind k) {
     case SchemeKind::kPrivate: return "private";
     case SchemeKind::kIdealCentralized: return "ideal-central";
     case SchemeKind::kDelta: return "delta";
+    case SchemeKind::kCarma: return "carma";
+    case SchemeKind::kLfoc: return "lfoc";
   }
   return "?";
 }
@@ -390,6 +328,8 @@ std::unique_ptr<Scheme> make_scheme(SchemeKind kind, SchemeOptions opts) {
     case SchemeKind::kIdealCentralized:
       return std::make_unique<IdealCentralScheme>(opts);
     case SchemeKind::kDelta: return std::make_unique<DeltaScheme>();
+    case SchemeKind::kCarma: return make_carma_scheme(opts);
+    case SchemeKind::kLfoc: return make_lfoc_scheme(opts);
   }
   return nullptr;
 }

@@ -58,6 +58,33 @@ TEST(Fuzz, BatchReportsOrderedBySeed) {
   EXPECT_TRUE(r.ok()) << r.failures;
 }
 
+TEST(Fuzz, CarmaRegressionSeeds) {
+  // Pinned seeds covering the auction scheme: the six-scheme pool must run
+  // clean under the invariant checker and differential oracle, and the
+  // summary must actually contain a carma run.
+  const FuzzOptions opt = small_opts();
+  for (std::uint64_t seed : {std::uint64_t{0xCA}, std::uint64_t{202}}) {
+    const FuzzCaseResult r = run_fuzz_case(seed, opt);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": "
+                      << (r.violations.empty()
+                              ? std::string("?")
+                              : to_string(r.violations.front()));
+    EXPECT_NE(r.json.find("\"scheme\":\"carma\""), std::string::npos);
+  }
+}
+
+TEST(Fuzz, LfocRegressionSeeds) {
+  const FuzzOptions opt = small_opts();
+  for (std::uint64_t seed : {std::uint64_t{0x1F0C}, std::uint64_t{203}}) {
+    const FuzzCaseResult r = run_fuzz_case(seed, opt);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": "
+                      << (r.violations.empty()
+                              ? std::string("?")
+                              : to_string(r.violations.front()));
+    EXPECT_NE(r.json.find("\"scheme\":\"lfoc\""), std::string::npos);
+  }
+}
+
 TEST(Fuzz, DeterministicAcrossRepeatAndThreadCounts) {
   FuzzOptions opt = small_opts();
   opt.cases = 3;
@@ -118,6 +145,37 @@ TEST(Differential, CatchesControlTrafficFromStaticScheme) {
   std::vector<sim::MixResult> results = {
       sim::run_mix(cfg, mix, sim::SchemeKind::kSnuca)};
   results[0].control.challenge = 12;  // A static scheme must never challenge.
+  const std::vector<Violation> v = diff_schemes(results, /*lockstep=*/false);
+  bool saw = false;
+  for (const Violation& x : v) saw |= x.kind == InvariantKind::kStaticControl;
+  EXPECT_TRUE(saw);
+}
+
+TEST(Differential, CatchesLfocInvalidations) {
+  sim::MachineConfig cfg = sim::config16();
+  cfg.warmup_epochs = 4;
+  cfg.measure_epochs = 10;
+  const workload::Mix mix = sim::mix_for_config(cfg, "w1");
+  std::vector<sim::MixResult> results = {
+      sim::run_mix(cfg, mix, sim::SchemeKind::kLfoc)};
+  results[0].invalidated_lines = 3;  // Slice resizes must never invalidate.
+  const std::vector<Violation> v = diff_schemes(results, /*lockstep=*/false);
+  bool saw = false;
+  for (const Violation& x : v) saw |= x.kind == InvariantKind::kStaticControl;
+  EXPECT_TRUE(saw);
+}
+
+TEST(Differential, CatchesCarmaGrantWithoutBid) {
+  sim::MachineConfig cfg = sim::config16();
+  cfg.warmup_epochs = 4;
+  cfg.measure_epochs = 10;
+  const workload::Mix mix = sim::mix_for_config(cfg, "w1");
+  std::vector<sim::MixResult> results = {
+      sim::run_mix(cfg, mix, sim::SchemeKind::kCarma)};
+  // A lot can only sell to a round's bidder.
+  results[0].traffic.count(noc::MsgType::kMarketGrant,
+                           results[0].traffic.total(noc::MsgType::kMarketBid) +
+                               1);
   const std::vector<Violation> v = diff_schemes(results, /*lockstep=*/false);
   bool saw = false;
   for (const Violation& x : v) saw |= x.kind == InvariantKind::kStaticControl;

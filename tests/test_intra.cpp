@@ -43,8 +43,9 @@ std::string run_summary(const sim::MachineConfig& cfg, const std::string& mix,
 }
 
 constexpr sim::SchemeKind kAllSchemes[] = {
-    sim::SchemeKind::kSnuca, sim::SchemeKind::kPrivate,
-    sim::SchemeKind::kIdealCentralized, sim::SchemeKind::kDelta};
+    sim::SchemeKind::kSnuca,  sim::SchemeKind::kPrivate,
+    sim::SchemeKind::kIdealCentralized, sim::SchemeKind::kDelta,
+    sim::SchemeKind::kCarma,  sim::SchemeKind::kLfoc};
 
 TEST(Intra, ByteIdenticalAllSchemes16Core) {
   for (const sim::SchemeKind kind : kAllSchemes) {
@@ -62,10 +63,12 @@ TEST(Intra, ByteIdenticalAllSchemes16Core) {
 
 TEST(Intra, ByteIdentical64Tile) {
   // The 64-tile machine has 4x the banks and the replicated mix; keep the
-  // run short but cover the scheme with the most during-epoch machinery
-  // (delta) plus the S-NUCA baseline.
+  // run short but cover the schemes with during-epoch machinery (delta's
+  // distributed controller, carma's auction enforcement, lfoc's slice
+  // resizing) plus the S-NUCA baseline.
   for (const sim::SchemeKind kind :
-       {sim::SchemeKind::kDelta, sim::SchemeKind::kSnuca}) {
+       {sim::SchemeKind::kDelta, sim::SchemeKind::kSnuca,
+        sim::SchemeKind::kCarma, sim::SchemeKind::kLfoc}) {
     EXPECT_EQ(run_summary(quick64(1), "w13", kind),
               run_summary(quick64(4), "w13", kind))
         << "64-tile intra-jobs 4 diverged for " << sim::to_string(kind);
@@ -143,7 +146,8 @@ TEST(Intra, ObservedSweepMergesToSerialTrace) {
   const workload::Mix mix = sim::mix_for_config(cfg, "w2");
 
   obs::Observer serial_obs(obs::ObsLevel::kFull);
-  (void)sim::compare_schemes(cfg, mix, &serial_obs);
+  for (const sim::SchemeKind kind : kAllSchemes)
+    (void)sim::run_mix(cfg, mix, kind, {}, &serial_obs);
 
   std::vector<sim::SweepJob> jobs;
   std::vector<std::unique_ptr<obs::Observer>> job_obs;

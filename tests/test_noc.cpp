@@ -72,6 +72,9 @@ TEST(Traffic, CountsPerType) {
   EXPECT_EQ(t.total(MsgType::kChallenge), 3u);
   EXPECT_EQ(t.control_messages(), 4u);
   EXPECT_EQ(t.demand_messages(), 110u);
+  t.count(MsgType::kMarketBid, 5);
+  t.count(MsgType::kMarketGrant, 2);
+  EXPECT_EQ(t.control_messages(), 11u);  // Auction traffic is control-plane.
   t.reset();
   EXPECT_EQ(t.control_messages(), 0u);
 }

@@ -38,6 +38,8 @@ MixResult tiny_result() {
   r.traffic.count(noc::MsgType::kIntraFeedback, 30);
   r.traffic.count(noc::MsgType::kHandover, 2);
   r.traffic.count(noc::MsgType::kInvalidation, 4);
+  r.traffic.count(noc::MsgType::kMarketBid, 6);
+  r.traffic.count(noc::MsgType::kMarketGrant, 2);
   r.traffic.count(noc::MsgType::kLlcRequest, 5000);
   r.control = control_breakdown(r.traffic);
   return r;
@@ -56,7 +58,8 @@ TEST(ControlBreakdown, SplitsTrafficByPurpose) {
   EXPECT_EQ(r.control.invalidation, 4u);
   EXPECT_EQ(r.control.handover, 2u);
   EXPECT_EQ(r.control.central, 0u);
-  EXPECT_EQ(r.control.total(), 56u);
+  EXPECT_EQ(r.control.market, 8u);
+  EXPECT_EQ(r.control.total(), 64u);
 }
 
 TEST(Report, CsvHeaderMatchesRowArity) {
@@ -75,11 +78,12 @@ TEST(Report, TextReportShowsControlBreakdown) {
   const MixResult r = tiny_result();
   const std::string text = text_report(r, nullptr);
   EXPECT_NE(text.find("delta on w2"), std::string::npos);
-  EXPECT_NE(text.find("control msgs 56"), std::string::npos);
+  EXPECT_NE(text.find("control msgs 64"), std::string::npos);
   EXPECT_NE(text.find("challenge 20"), std::string::npos);
   EXPECT_NE(text.find("feedback 30"), std::string::npos);
   EXPECT_NE(text.find("invalidation 4"), std::string::npos);
   EXPECT_NE(text.find("handover 2"), std::string::npos);
+  EXPECT_NE(text.find("market 8"), std::string::npos);
   EXPECT_NE(text.find("invalidated lines 123"), std::string::npos);
 }
 
@@ -102,7 +106,7 @@ TEST(Report, JsonSummaryIsValidAndComplete) {
   EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
   EXPECT_NE(json.find("\"control\":{\"challenge\":20,\"feedback\":30,"
                       "\"invalidation\":4,\"handover\":2,\"central\":0,"
-                      "\"total\":56}"),
+                      "\"market\":8,\"total\":64}"),
             std::string::npos);
   EXPECT_NE(json.find("\"apps\":["), std::string::npos);
   EXPECT_NE(json.find("\"traffic\":{"), std::string::npos);

@@ -2,8 +2,14 @@
 // partitioning scheme while a real workload runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "alloc/auction.hpp"
 #include "common/rng.hpp"
+#include "core/way_partition.hpp"
 #include "mem/address.hpp"
+#include "noc/traffic.hpp"
 #include "sim/chip.hpp"
 #include "sim/runner.hpp"
 
@@ -41,8 +47,11 @@ TEST_P(EveryScheme, MapAlwaysReturnsValidBankAndSet) {
 }
 
 TEST_P(EveryScheme, InsertMasksOfDistinctCoresAreDisjointUnderPartitioning) {
-  // Holds for the partitioned schemes; S-NUCA deliberately shares ways.
-  if (GetParam() == SchemeKind::kSnuca) GTEST_SKIP();
+  // Holds for the per-core partitioned schemes; S-NUCA deliberately shares
+  // all ways and LFOC shares a slice per cluster (its sharing discipline is
+  // pinned by LfocSchemeProps below).
+  if (GetParam() == SchemeKind::kSnuca || GetParam() == SchemeKind::kLfoc)
+    GTEST_SKIP();
   MachineConfig cfg = tiny();
   Chip chip(cfg, apps16(), make_scheme(GetParam()));
   chip.run_epochs(35, false);
@@ -68,7 +77,9 @@ TEST_P(EveryScheme, AllocatedWaysStayWithinChipCapacity) {
       EXPECT_GE(w, 0);
       total += w;
     }
-    if (GetParam() != SchemeKind::kSnuca) {
+    // Shared-capacity schemes (snuca, lfoc) report nominal per-bank shares
+    // whose per-core sum exceeds the chip; only exclusive partitions bound it.
+    if (GetParam() != SchemeKind::kSnuca && GetParam() != SchemeKind::kLfoc) {
       EXPECT_LE(total, 16 * 16);
     }
   }
@@ -106,15 +117,129 @@ TEST_P(EveryScheme, WorkloadStreamsIdenticalAcrossSchemes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Schemes, EveryScheme,
-                         ::testing::Values(SchemeKind::kSnuca, SchemeKind::kPrivate,
-                                           SchemeKind::kIdealCentralized,
-                                           SchemeKind::kDelta),
+                         ::testing::ValuesIn(kAllSchemeKinds),
                          [](const auto& inf) {
                            std::string s(to_string(inf.param));
                            for (auto& ch : s)
                              if (ch == '-') ch = '_';
                            return s;
                          });
+
+// ---------------------------------------------------------------------------
+// CARMA: auction-cleared per-core partitions enforced with WP/CBT state.
+// ---------------------------------------------------------------------------
+
+TEST(CarmaSchemeProps, WaysConservedAndHomeFloorHeld) {
+  MachineConfig cfg = tiny();
+  Chip chip(cfg, apps16(), make_scheme(SchemeKind::kCarma));
+  for (int step = 0; step < 6; ++step) {
+    chip.run_epochs(10, false);
+    for (int bank = 0; bank < 16; ++bank) {
+      const core::WpUnit* wp = chip.scheme().wp_unit(bank);
+      ASSERT_NE(wp, nullptr);
+      // Way conservation: every way has exactly one owner, all 16 accounted.
+      int owned = 0;
+      mem::WayMask all = 0;
+      for (int c = 0; c < 16; ++c) {
+        owned += wp->ways_of(c);
+        all |= chip.scheme().insert_mask(chip, c, bank);
+      }
+      EXPECT_EQ(owned, 16) << "bank " << bank;
+      EXPECT_EQ(all, mem::full_mask(16)) << "bank " << bank << " has orphan ways";
+      // Home floor: the bank's home core keeps its reserved minimum.
+      EXPECT_GE(wp->ways_of(bank), cfg.delta.min_ways) << "bank " << bank;
+    }
+  }
+}
+
+TEST(CarmaSchemeProps, AuctionNeverOverspendsBudgets) {
+  // Property fuzz over the allocator itself: whatever the curves look like,
+  // spent[i] <= budgets[i], the floor/cap are honoured, and no more ways
+  // are sold than exist.
+  Rng rng(0xCA12A);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(15));
+    alloc::AuctionRequest req;
+    req.total_ways = n * 16;
+    req.min_ways = 1 + static_cast<int>(rng.below(4));
+    req.max_ways = rng.chance(0.3) ? 0 : 16 + static_cast<int>(rng.below(48));
+    req.lot_ways = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < n; ++i) {
+      std::vector<double> misses(17);
+      double m = 1000.0 + static_cast<double>(rng.below(9000));
+      for (auto& v : misses) {
+        v = m;
+        m -= static_cast<double>(rng.below(120));
+        if (m < 0.0) m = 0.0;
+      }
+      req.curves.emplace_back(std::move(misses));
+      req.budgets.push_back(static_cast<double>(rng.below(200)));
+    }
+    const alloc::AuctionResult res = alloc::clear_auction(req);
+    int sold = 0;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_LE(res.spent[static_cast<std::size_t>(i)],
+                req.budgets[static_cast<std::size_t>(i)] + 1e-12)
+          << "trial " << trial << " app " << i;
+      EXPECT_GE(res.ways[static_cast<std::size_t>(i)], req.min_ways);
+      if (req.max_ways > 0) {
+        EXPECT_LE(res.ways[static_cast<std::size_t>(i)], req.max_ways);
+      }
+      sold += res.ways[static_cast<std::size_t>(i)];
+    }
+    EXPECT_LE(sold, req.total_ways) << "trial " << trial;
+    EXPECT_LE(res.rounds, res.bids) << "a lot can only sell to a bidder";
+
+    // The clearing process is deterministic: same request, same result.
+    const alloc::AuctionResult again = alloc::clear_auction(req);
+    EXPECT_EQ(res.ways, again.ways);
+    EXPECT_EQ(res.spent, again.spent);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LFOC: cluster slices shared within a cluster, partitioned across clusters.
+// ---------------------------------------------------------------------------
+
+TEST(LfocSchemeProps, ClusterPartitionsAreDisjointAndExhaustive) {
+  MachineConfig cfg = tiny();
+  Chip chip(cfg, apps16(), make_scheme(SchemeKind::kLfoc));
+  for (int step = 0; step < 6; ++step) {
+    chip.run_epochs(10, false);
+    // Slices are identical in every bank; any two cores' masks are either
+    // the same slice (same cluster) or disjoint, and together the slices
+    // cover the whole bank.
+    for (int bank = 0; bank < 16; ++bank) {
+      std::vector<mem::WayMask> slices;
+      mem::WayMask all = 0;
+      for (int c = 0; c < 16; ++c) {
+        const mem::WayMask m = chip.scheme().insert_mask(chip, c, bank);
+        EXPECT_NE(m, 0u) << "core " << c << " lost its insertion slice";
+        all |= m;
+        if (std::find(slices.begin(), slices.end(), m) == slices.end())
+          slices.push_back(m);
+        EXPECT_EQ(m, chip.scheme().insert_mask(chip, c, 0))
+            << "slice differs across banks for core " << c;
+      }
+      for (std::size_t i = 0; i < slices.size(); ++i)
+        for (std::size_t j = i + 1; j < slices.size(); ++j)
+          EXPECT_EQ(slices[i] & slices[j], 0u)
+              << "clusters " << i << "/" << j << " overlap in bank " << bank;
+      EXPECT_EQ(all, mem::full_mask(16)) << "bank " << bank << " not covered";
+      EXPECT_LE(slices.size(), 3u);
+    }
+  }
+}
+
+TEST(LfocSchemeProps, NeverInvalidatesLines) {
+  MachineConfig cfg = tiny();
+  Chip chip(cfg, apps16(), make_scheme(SchemeKind::kLfoc));
+  const MixResult r = chip.run("w-lfoc");
+  EXPECT_EQ(r.invalidated_lines, 0u);
+  EXPECT_EQ(r.traffic.total(noc::MsgType::kInvalidation), 0u);
+  EXPECT_GT(r.control.central, 0u);  // It does reconfigure...
+  EXPECT_EQ(r.control.market, 0u);   // ...but never through the auction.
+}
 
 TEST(DeltaSchemeProps, BankOwnershipAlwaysPartitionsEveryBank) {
   MachineConfig cfg = tiny();

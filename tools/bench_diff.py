@@ -103,10 +103,26 @@ def main():
             failures.append(f"{section}.byte_identical is {ident!r}, not true")
 
     # Informational only (machine-dependent): single-thread throughput and
-    # the parallel speedups on this runner.
-    for scheme, v in new.get("simulator", {}).items():
+    # the parallel speedups on this runner.  Scheme keys the reference has
+    # never heard of (a newer harness grew a scheme) are fine — warn and
+    # print them rather than failing, so adding a scheme doesn't force a
+    # reference regeneration.
+    ref_schemes = ref.get("simulator", {})
+    if not isinstance(ref_schemes, dict):
+        ref_schemes = {}
+    sim = new.get("simulator", {})
+    if not isinstance(sim, dict):
+        print(f"bench_diff: warning: simulator section is {type(sim).__name__},"
+              " not an object; skipping", file=sys.stderr)
+        sim = {}
+    for scheme, v in sim.items():
+        if not isinstance(v, dict):
+            print(f"bench_diff: warning: simulator.{scheme} is not an object; "
+                  f"skipping", file=sys.stderr)
+            continue
+        note = "" if scheme in ref_schemes else ", not in reference"
         print(f"simulator.{scheme}: {v.get('accesses_per_sec', 0):.3g} acc/s "
-              f"(not gated)")
+              f"(not gated{note})")
     for p in new.get("intra", {}).get("points", []):
         print(f"intra --intra-jobs {p.get('intra_jobs')}: "
               f"{p.get('speedup_vs_serial', 0):.2f}x vs serial (not gated; "

@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: --%s\n", f.c_str());
     std::fprintf(stderr,
                  "usage: delta_sim [--mix wN | --apps a,b,...] [--scheme "
-                 "snuca|private|ideal|delta|all]\n"
+                 "snuca|private|ideal|delta|carma|lfoc|all]\n"
                  "                 [--cores 16|64] [--epochs N] [--warmup N] "
                  "[--seed S] [--central-ms M] [--csv] [--list]\n"
                  "                 [--trace-out trace.json] [--timeline-csv ts.csv]\n"
@@ -217,51 +217,40 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(args.get_int("jobs", 1));
 
   std::vector<sim::MixResult> results;
-  if (scheme == "all" && jobs != 1) {
-    sim::SchemeComparison c;
-    if (wants_obs) {
-      const std::vector<sim::SchemeKind> kinds = {
-          sim::SchemeKind::kSnuca, sim::SchemeKind::kPrivate,
-          sim::SchemeKind::kIdealCentralized, sim::SchemeKind::kDelta};
+  if (scheme == "all") {
+    // All six schemes (snuca, private, ideal, delta, carma, lfoc), printed
+    // against the snuca baseline with ANTT/STP fairness vs private.
+    std::vector<sim::MixResult> r;
+    if (jobs != 1 && wants_obs) {
       std::vector<sim::SweepJob> sweep_jobs;
       std::vector<std::unique_ptr<obs::Observer>> job_obs;
       std::vector<obs::Observer*> obs_ptrs;
-      for (sim::SchemeKind kind : kinds) {
-        sweep_jobs.push_back(sim::SweepJob{cfg, mix, kind, {}});
+      for (sim::SchemeKind kind : sim::kAllSchemeKinds) {
+        sweep_jobs.push_back(sim::SweepJob{cfg, mix, kind, opts});
         job_obs.push_back(std::make_unique<obs::Observer>(observer->level()));
         obs_ptrs.push_back(job_obs.back().get());
       }
-      const std::vector<sim::MixResult> r =
-          sim::run_sweep_observed(sweep_jobs, obs_ptrs, jobs);
+      r = sim::run_sweep_observed(sweep_jobs, obs_ptrs, jobs);
       for (const auto& jo : job_obs) observer->merge_from(*jo);
-      c = sim::SchemeComparison{r[0], r[1], r[2], r[3]};
+    } else if (jobs != 1) {
+      r = sim::run_schemes_sweep(cfg, {mix}, sim::kAllSchemeKinds, jobs, opts)
+              .front();
     } else {
-      c = sim::compare_schemes_sweep(cfg, {mix}, jobs).front();
+      for (sim::SchemeKind kind : sim::kAllSchemeKinds)
+        r.push_back(sim::run_mix(cfg, mix, kind, opts, observer.get()));
     }
-    print_result(c.snuca, &c.snuca, csv, text_out);
-    print_result(c.private_llc, &c.snuca, csv, text_out);
-    print_result(c.ideal, &c.snuca, csv, text_out);
-    print_result(c.delta, &c.snuca, csv, text_out);
+    for (const sim::MixResult& one : r) print_result(one, &r[0], csv, text_out);
     if (!csv) {
+      const sim::MixResult& priv = r[1];
       std::fprintf(text_out,
-                   "\nANTT/STP vs private: ideal %.3f/%.2f, delta %.3f/%.2f\n",
-                   sim::antt(c.ideal, c.private_llc), sim::stp(c.ideal, c.private_llc),
-                   sim::antt(c.delta, c.private_llc), sim::stp(c.delta, c.private_llc));
+                   "\nANTT/STP vs private: ideal %.3f/%.2f, delta %.3f/%.2f, "
+                   "carma %.3f/%.2f, lfoc %.3f/%.2f\n",
+                   sim::antt(r[2], priv), sim::stp(r[2], priv),
+                   sim::antt(r[3], priv), sim::stp(r[3], priv),
+                   sim::antt(r[4], priv), sim::stp(r[4], priv),
+                   sim::antt(r[5], priv), sim::stp(r[5], priv));
     }
-    results = {c.snuca, c.private_llc, c.ideal, c.delta};
-  } else if (scheme == "all") {
-    const sim::SchemeComparison c = sim::compare_schemes(cfg, mix, observer.get());
-    print_result(c.snuca, &c.snuca, csv, text_out);
-    print_result(c.private_llc, &c.snuca, csv, text_out);
-    print_result(c.ideal, &c.snuca, csv, text_out);
-    print_result(c.delta, &c.snuca, csv, text_out);
-    if (!csv) {
-      std::fprintf(text_out,
-                   "\nANTT/STP vs private: ideal %.3f/%.2f, delta %.3f/%.2f\n",
-                   sim::antt(c.ideal, c.private_llc), sim::stp(c.ideal, c.private_llc),
-                   sim::antt(c.delta, c.private_llc), sim::stp(c.delta, c.private_llc));
-    }
-    results = {c.snuca, c.private_llc, c.ideal, c.delta};
+    results = r;
   } else {
     sim::SchemeKind kind;
     if (scheme == "snuca") {
@@ -272,6 +261,10 @@ int main(int argc, char** argv) {
       kind = sim::SchemeKind::kIdealCentralized;
     } else if (scheme == "delta") {
       kind = sim::SchemeKind::kDelta;
+    } else if (scheme == "carma") {
+      kind = sim::SchemeKind::kCarma;
+    } else if (scheme == "lfoc") {
+      kind = sim::SchemeKind::kLfoc;
     } else {
       std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
       return 1;

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py (run as a ctest: python3 -m unittest).
+
+The gate's contract, pinned here:
+  * matching schemas with healthy ratios pass (exit 0);
+  * unknown scheme keys in the fresh simulator section — a newer harness
+    grew a scheme the committed reference has never heard of — warn but do
+    NOT fail, and malformed (non-object) entries are skipped with a warning;
+  * a cache-kernel ratio below the slack floor fails (exit 1);
+  * a schema mismatch is a usage error (exit 2).
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_diff.py")
+
+
+def doc(schema="delta-bench-throughput-v3", hit=2.0, thrash=1.5,
+        simulator=None):
+    return {
+        "schema": schema,
+        "cache_kernel": {
+            "hit_heavy": {"new_over_legacy": hit},
+            "thrashing": {"new_over_legacy": thrash},
+        },
+        "sweep": {"byte_identical": True},
+        "intra": {"byte_identical": True, "points": []},
+        "simulator": simulator if simulator is not None
+        else {"snuca": {"accesses_per_sec": 1e6}},
+    }
+
+
+class BenchDiffTest(unittest.TestCase):
+    def run_diff(self, ref, fresh, *extra):
+        with tempfile.TemporaryDirectory() as d:
+            ref_path = os.path.join(d, "ref.json")
+            fresh_path = os.path.join(d, "fresh.json")
+            with open(ref_path, "w") as f:
+                json.dump(ref, f)
+            with open(fresh_path, "w") as f:
+                json.dump(fresh, f)
+            return subprocess.run(
+                [sys.executable, TOOL, ref_path, fresh_path, *extra],
+                capture_output=True, text=True)
+
+    def test_healthy_run_passes(self):
+        r = self.run_diff(doc(), doc())
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("bench_diff: PASS", r.stdout)
+
+    def test_unknown_scheme_keys_warn_but_pass(self):
+        fresh = doc(simulator={
+            "snuca": {"accesses_per_sec": 1e6},
+            "carma": {"accesses_per_sec": 9e5},   # Not in the reference.
+            "lfoc": {"accesses_per_sec": 8e5},    # Not in the reference.
+            "bogus": "not-an-object",             # Malformed entry.
+        })
+        r = self.run_diff(doc(), fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("simulator.carma", r.stdout)
+        self.assertIn("not in reference", r.stdout)
+        self.assertIn("simulator.bogus is not an object", r.stderr)
+        self.assertIn("bench_diff: PASS", r.stdout)
+
+    def test_simulator_section_wrong_type_warns_but_passes(self):
+        fresh = doc()
+        fresh["simulator"] = ["not", "a", "dict"]
+        r = self.run_diff(doc(), fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("simulator section is list", r.stderr)
+
+    def test_kernel_regression_fails(self):
+        r = self.run_diff(doc(hit=2.0), doc(hit=0.5))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("below", r.stderr)
+
+    def test_byte_divergence_fails(self):
+        fresh = doc()
+        fresh["intra"]["byte_identical"] = False
+        r = self.run_diff(doc(), fresh)
+        self.assertEqual(r.returncode, 1)
+
+    def test_schema_mismatch_is_usage_error(self):
+        r = self.run_diff(doc(), doc(schema="delta-bench-throughput-v999"))
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("schema mismatch", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
