@@ -6,6 +6,10 @@
 #include <set>
 #include <sstream>
 
+#include "lint/ir.hpp"
+#include "lint/layering.hpp"
+#include "lint/phase_check.hpp"
+
 namespace delta::lint {
 namespace {
 
@@ -31,90 +35,6 @@ std::size_t find_word(std::string_view text, std::string_view word,
     if (word_at(text, pos, word)) return pos;
   }
   return std::string_view::npos;
-}
-
-/// Replaces comments and string/character literal bodies with spaces,
-/// preserving length and line structure so offsets keep mapping to the
-/// original text.  Handles //, /*...*/, "...", '...' and R"delim(...)delim".
-std::string scrub(std::string_view text) {
-  std::string out(text);
-  enum class St { kCode, kLine, kBlock, kStr, kChar };
-  St st = St::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLine;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlock;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !ident_char(out[i - 1]))) {
-          // Raw string: R"delim( ... )delim" — blank the whole literal.
-          std::size_t p = i + 2;
-          std::string delim;
-          while (p < out.size() && out[p] != '(') delim += out[p++];
-          const std::string close = ")" + delim + "\"";
-          std::size_t end = out.find(close, p);
-          end = end == std::string::npos ? out.size() : end + close.size();
-          for (std::size_t j = i; j < end; ++j)
-            if (out[j] != '\n') out[j] = ' ';
-          i = end - 1;
-        } else if (c == '"') {
-          st = St::kStr;
-        } else if (c == '\'') {
-          st = St::kChar;
-        }
-        break;
-      case St::kLine:
-        if (c == '\n') st = St::kCode;
-        else out[i] = ' ';
-        break;
-      case St::kBlock:
-        if (c == '*' && next == '/') {
-          st = St::kCode;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kStr:
-      case St::kChar: {
-        const char quote = st == St::kStr ? '"' : '\'';
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size() && out[i + 1] != '\n') out[++i] = ' ';
-        } else if (c == quote) {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-std::vector<std::string_view> split_lines(std::string_view text) {
-  std::vector<std::string_view> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
 }
 
 /// Skips a balanced `<...>` template argument list starting at the '<' at
@@ -194,29 +114,6 @@ std::string_view first_template_arg(std::string_view code, std::size_t open) {
   return {};
 }
 
-bool suppressed(std::string_view raw_line, std::string_view rule) {
-  const std::size_t mark = raw_line.find("delta-lint:");
-  if (mark == std::string_view::npos) return false;
-  const std::size_t allow = raw_line.find("allow(", mark);
-  if (allow == std::string_view::npos) return false;
-  const std::size_t close = raw_line.find(')', allow);
-  if (close == std::string_view::npos) return false;
-  const std::string_view list =
-      raw_line.substr(allow + 6, close - allow - 6);
-  // Comma-separated rule list: allow(naked-new, unordered-iter).
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    std::size_t end = list.find(',', start);
-    if (end == std::string_view::npos) end = list.size();
-    std::string_view item = list.substr(start, end - start);
-    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
-    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
-    if (item == rule) return true;
-    start = end + 1;
-  }
-  return false;
-}
-
 class Linter {
  public:
   Linter(const FileInfo& info, std::string_view text)
@@ -244,8 +141,8 @@ class Linter {
         line_idx < static_cast<int>(raw_lines_.size()) ? raw_lines_[line_idx]
                                                        : std::string_view{};
     if (suppressed(raw, rule)) return;
-    findings_.push_back(
-        Finding{info_.path_label, line_idx + 1, std::move(rule), std::move(detail)});
+    findings_.push_back(Finding{info_.path_label, line_idx + 1,
+                                std::move(rule), std::move(detail), {}});
   }
 
   void check_unordered_iteration() {
@@ -408,25 +305,77 @@ std::vector<Finding> lint_text(const FileInfo& info, std::string_view text) {
   return Linter(info, text).run();
 }
 
+namespace {
+
+/// True when the walk must not descend into `dir`: build trees (any
+/// directory whose name starts with "build") and dot-directories
+/// (.git, .cache, ...) contain generated or foreign sources.
+bool skip_dir(const std::filesystem::path& dir) {
+  const std::string name = dir.filename().string();
+  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+bool rule_selected(const TreeOptions& opts, std::string_view rule) {
+  if (opts.rules.empty()) return true;
+  return std::find(opts.rules.begin(), opts.rules.end(), rule) !=
+         opts.rules.end();
+}
+
+}  // namespace
+
 std::vector<Finding> lint_tree(const std::filesystem::path& root) {
+  return lint_tree(root, TreeOptions{});
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               const TreeOptions& opts) {
   namespace fs = std::filesystem;
-  std::vector<Finding> all;
+  const bool want_lexical = opts.rules.empty() ||
+                            rule_selected(opts, "unordered-iter") ||
+                            rule_selected(opts, "nondet-source") ||
+                            rule_selected(opts, "ptr-key") ||
+                            rule_selected(opts, "naked-new") ||
+                            rule_selected(opts, "own-header-first");
+  const bool want_phase = rule_selected(opts, "phase-effect");
+  const bool want_layering = rule_selected(opts, "layering");
+  const bool want_cycles = rule_selected(opts, "include-cycle");
+
   std::vector<fs::path> files;
   if (fs::exists(root)) {
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
+    auto it = fs::recursive_directory_iterator(root);
+    for (auto end = fs::end(it); it != end; ++it) {
+      if (it->is_directory() && skip_dir(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
       if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
-        files.push_back(entry.path());
+        files.push_back(it->path());
     }
   }
-  std::sort(files.begin(), files.end());  // Deterministic walk order.
+  // Deterministic walk order regardless of how the filesystem enumerates
+  // entries: sort on the portable generic form.
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.generic_string() < b.generic_string();
+            });
 
-  const fs::path base = root.has_parent_path() ? root.parent_path() : root;
+  std::vector<Finding> all;
+  std::vector<FileInclude> includes;
+  // Labels are relative to the root's parent so messages read "src/...".
+  // Resolve through lexically_normal+absolute first: a bare relative root
+  // ("src") has no parent of its own, and the path-prefix carve-outs
+  // (e.g. the prof-subsystem clock allowance keyed on "src/obs/prof")
+  // must see the same labels no matter how the root was spelled.
+  fs::path norm = fs::absolute(root).lexically_normal();
+  if (norm.filename().empty()) norm = norm.parent_path();  // trailing '/'
+  const fs::path base = norm.has_parent_path() ? norm.parent_path() : norm;
   for (const fs::path& file : files) {
     std::ifstream in(file);
     std::ostringstream buf;
     buf << in.rdbuf();
+    const std::string text = buf.str();
 
     FileInfo info;
     info.path_label = fs::relative(file, base).generic_string();
@@ -436,7 +385,27 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root) {
       if (fs::exists(header))
         info.expected_header = fs::relative(header, root).generic_string();
     }
-    for (Finding& f : lint_text(info, buf.str())) all.push_back(std::move(f));
+    if (want_lexical)
+      for (Finding& f : lint_text(info, text)) all.push_back(std::move(f));
+    if (want_phase)
+      for (Finding& f : phase_check(info, text)) all.push_back(std::move(f));
+    if (want_layering || want_cycles)
+      for (const IncludeDirective& inc : parse_includes(text))
+        includes.push_back(FileInclude{info.path_label, inc.line, inc.path});
+  }
+  if (want_layering)
+    for (Finding& f : check_layering(default_layering(), includes))
+      all.push_back(std::move(f));
+  if (want_cycles)
+    for (Finding& f : check_include_cycles(includes))
+      all.push_back(std::move(f));
+
+  if (!opts.rules.empty()) {
+    all.erase(std::remove_if(all.begin(), all.end(),
+                             [&](const Finding& f) {
+                               return !rule_selected(opts, f.rule);
+                             }),
+              all.end());
   }
   std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
@@ -444,6 +413,40 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root) {
     return a.rule < b.rule;
   });
   return all;
+}
+
+Baseline load_baseline(const std::filesystem::path& path, bool* ok) {
+  Baseline out;
+  std::ifstream in(path);
+  if (ok != nullptr) *ok = in.good();
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    std::string entry = line.substr(first, last - first + 1);
+    if (entry.empty() || entry[0] == '#') continue;
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= entry.size())
+      continue;
+    out.entries.emplace_back(entry.substr(0, colon), entry.substr(colon + 1));
+  }
+  return out;
+}
+
+std::size_t apply_baseline(const Baseline& baseline,
+                           std::vector<Finding>& findings) {
+  if (baseline.entries.empty()) return 0;
+  const std::size_t before = findings.size();
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       for (const auto& [file, rule] : baseline.entries)
+                         if (f.file == file && f.rule == rule) return true;
+                       return false;
+                     }),
+      findings.end());
+  return before - findings.size();
 }
 
 std::string format(const Finding& f) {

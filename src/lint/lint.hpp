@@ -29,6 +29,20 @@
 // token matching): fast, dependency-free, and precise enough for a
 // single-style codebase.  Run as a ctest over src/ (label `lint`) and unit
 // tested on synthetic snippets in tests/test_lint.cpp.
+//
+// On top of the lexical rules sits a small semantic layer built on the
+// token-level front in lint/ir.hpp:
+//
+//   phase-effect      the sim::Scheme thread-locality contract, checked
+//                     over each scheme's during-epoch hook closure
+//                     (lint/phase_check.hpp)
+//   layering          the declared module DAG of src/ enforced over the
+//                     real include graph, plus include-cycle detection
+//                     (lint/layering.hpp)
+//
+// lint_tree() runs all of it; the delta_lint CLI adds --rule filtering, a
+// findings --baseline, machine-readable --json output and
+// --fix-suggestions (the exact suppression/annotation line per finding).
 #pragma once
 
 #include <filesystem>
@@ -43,6 +57,10 @@ struct Finding {
   int line = 0;      ///< 1-based.
   std::string rule;
   std::string detail;
+  /// Paste-ready triage hint (the exact suppression/annotation line or
+  /// baseline entry); surfaced by `delta_lint --fix-suggestions` and in the
+  /// JSON export.  Empty when the fix is a plain code change.
+  std::string suggestion;
 };
 
 /// Per-file context supplied by the tree walker (unit tests fabricate it).
@@ -57,10 +75,41 @@ struct FileInfo {
 /// Lints one translation unit's text.  Findings are in line order.
 std::vector<Finding> lint_text(const FileInfo& info, std::string_view text);
 
+/// Tree-walk options.  `rules` empty == run everything; otherwise only the
+/// named rules are reported.  Known names: the five lexical rules
+/// (unordered-iter, nondet-source, ptr-key, naked-new, own-header-first)
+/// plus the semantic rules phase-effect (lint/phase_check.hpp), layering
+/// and include-cycle (lint/layering.hpp).
+struct TreeOptions {
+  std::vector<std::string> rules;
+};
+
 /// Walks `root` (typically <repo>/src), lints every .hpp/.cpp, and returns
-/// all findings sorted by (file, line).  Paths are reported relative to
-/// `root`'s parent so messages read "src/...".
+/// all findings sorted by (file, line, rule).  Paths are reported relative
+/// to `root`'s parent so messages read "src/...".  The walk is
+/// deterministic (files sorted by generic path, independent of filesystem
+/// enumeration order) and skips `build*` directories and dot-directories
+/// outright, so pointing the tool at a repo root never lints generated
+/// artifacts.
 std::vector<Finding> lint_tree(const std::filesystem::path& root);
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               const TreeOptions& opts);
+
+/// Findings baseline: a text file with one `<file>:<rule>` entry per line
+/// (`#` comments and blank lines ignored).  Every finding whose file and
+/// rule match an entry is waived — line numbers deliberately excluded so a
+/// baseline survives unrelated edits.
+struct Baseline {
+  std::vector<std::pair<std::string, std::string>> entries;  ///< (file, rule)
+};
+
+/// Parses a baseline file; `ok` (when non-null) reports whether the file
+/// was readable.  An unreadable file yields an empty baseline.
+Baseline load_baseline(const std::filesystem::path& path, bool* ok = nullptr);
+
+/// Removes findings matched by the baseline; returns how many were waived.
+std::size_t apply_baseline(const Baseline& baseline,
+                           std::vector<Finding>& findings);
 
 /// "file:line: rule: detail" — the format the ctest prints per violation.
 std::string format(const Finding& f);

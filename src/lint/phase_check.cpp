@@ -1,0 +1,240 @@
+#include "lint/phase_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint/ir.hpp"
+
+namespace delta::lint {
+namespace {
+
+bool is_assign_op(std::string_view s) {
+  return s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+         s == "%=" || s == "&=" || s == "|=" || s == "^=" || s == "<<=" ||
+         s == ">>=";
+}
+
+/// Chip members that reach cross-bank shared state; calling them from a
+/// during-epoch hook races with the bank-parallel apply phase.
+bool is_banned_chip_call(std::string_view s) {
+  return s == "invalidate_core_chunks" || s == "traffic" ||
+         s == "event_sink" || s == "slot" || s == "bank";
+}
+
+class PhaseChecker {
+ public:
+  PhaseChecker(const FileInfo& info, std::string_view text)
+      : info_(info), raw_lines_(split_lines(text)), tu_(parse_tu(text)) {}
+
+  std::vector<Finding> run() {
+    for (const ClassDecl& cls : tu_.classes) {
+      const bool is_scheme =
+          std::find(cls.bases.begin(), cls.bases.end(), "Scheme") !=
+          cls.bases.end();
+      if (is_scheme) check_class(cls);
+    }
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line != b.line ? a.line < b.line
+                                        : a.detail < b.detail;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  std::string_view raw_line(int line) const {
+    return line >= 1 && line <= static_cast<int>(raw_lines_.size())
+               ? raw_lines_[static_cast<std::size_t>(line - 1)]
+               : std::string_view{};
+  }
+
+  void add(int line, std::string detail, std::string suggestion) {
+    if (suppressed(raw_line(line), "phase-effect")) return;
+    findings_.push_back(Finding{info_.path_label, line, "phase-effect",
+                                std::move(detail), std::move(suggestion)});
+  }
+
+  std::string suppress_here(int line) const {
+    return "append to " + info_.path_label + ":" + std::to_string(line) +
+           ":  // delta-lint: allow(phase-effect)";
+  }
+
+  /// Member functions of `cls` called from the body range — the intra-class
+  /// call-graph edges.  Qualified calls (`other.name(...)`) are not edges.
+  std::set<std::string> callees(const ClassDecl& cls, const MethodDecl& m) const {
+    std::set<std::string> names, out;
+    for (const MethodDecl& mm : cls.methods) names.insert(mm.name);
+    const auto& t = tu_.tokens;
+    for (std::size_t k = m.body_begin; k < m.body_end; ++k) {
+      if (t[k].kind != TokKind::kIdent || k + 1 >= m.body_end ||
+          t[k + 1].text != "(")
+        continue;
+      if (names.count(std::string(t[k].text)) == 0) continue;
+      const std::string_view prev = k > m.body_begin ? t[k - 1].text : "";
+      const bool qualified = prev == "." || prev == "->" || prev == "::";
+      const bool via_this =
+          prev == "->" && k >= 2 && t[k - 2].text == "this";
+      if (!qualified || via_this) out.insert(std::string(t[k].text));
+    }
+    return out;
+  }
+
+  void check_class(const ClassDecl& cls) {
+    // During-epoch closure: the hooks plus everything they transitively
+    // call within the class.
+    std::set<std::string> closure;
+    std::vector<std::string> queue;
+    for (std::string_view h : kDuringEpochHooks)
+      for (const MethodDecl& m : cls.methods)
+        if (m.name == h && closure.insert(m.name).second)
+          queue.push_back(m.name);
+    while (!queue.empty()) {
+      const std::string cur = queue.back();
+      queue.pop_back();
+      for (const MethodDecl& m : cls.methods) {
+        if (m.name != cur || !m.has_body) continue;
+        for (const std::string& callee : callees(cls, m))
+          if (closure.insert(callee).second) queue.push_back(callee);
+      }
+    }
+    if (closure.empty()) return;
+
+    std::map<std::string, const FieldDecl*, std::less<>> fields;
+    for (const FieldDecl& f : cls.fields) fields.emplace(f.name, &f);
+
+    for (const MethodDecl& m : cls.methods) {
+      if (closure.count(m.name) == 0) continue;
+      if (!m.is_const && !m.is_static && m.name != "on_insertion") {
+        add(m.line,
+            "during-epoch hook/helper '" + cls.name + "::" + m.name +
+                "' is not const-qualified (thread-locality contract, "
+                "sim/scheme.hpp)",
+            "const-qualify '" + m.name + "' or waive with " +
+                suppress_here(m.line));
+      }
+      if (m.has_body) check_body(cls, m, fields);
+    }
+  }
+
+  void check_body(const ClassDecl& cls, const MethodDecl& m,
+                  const std::map<std::string, const FieldDecl*, std::less<>>& fields) {
+    const auto& t = tu_.tokens;
+    const std::string where =
+        " in during-epoch closure of '" + cls.name + "::" + m.name + "'";
+    for (std::size_t k = m.body_begin; k < m.body_end; ++k) {
+      if (t[k].kind != TokKind::kIdent) continue;
+      const std::string_view prev = k > m.body_begin ? t[k - 1].text : "";
+      const std::string_view nxt = k + 1 < m.body_end ? t[k + 1].text : "";
+
+      // Banned cross-bank Chip state, called on any receiver.
+      if (is_banned_chip_call(t[k].text) && nxt == "(" &&
+          (prev == "." || prev == "->")) {
+        add(t[k].line,
+            "touches cross-bank chip state '" + std::string(t[k].text) +
+                "()'" + where + "; reallocation/invalidation/traffic belongs "
+                "in begin_epoch() on the epoch barrier",
+            suppress_here(t[k].line));
+        continue;
+      }
+
+      const auto it = fields.find(t[k].text);
+      if (it == fields.end()) continue;
+      const FieldDecl& f = *it->second;
+      if (f.is_static) continue;
+      const bool via_this = prev == "->" && k >= 2 && t[k - 2].text == "this";
+      if ((prev == "." || prev == "->" || prev == "::") && !via_this) continue;
+
+      const int line = t[k].line;
+      const bool annotated_ec =
+          phase_annotated(raw_line(f.line), "epoch-constant");
+
+      // Effective operator after the field, skipping array subscripts.
+      std::size_t n = k + 1;
+      while (n < m.body_end && t[n].text == "[") {
+        int depth = 0;
+        for (; n < m.body_end; ++n) {
+          if (t[n].text == "[") ++depth;
+          else if (t[n].text == "]" && --depth == 0) { ++n; break; }
+        }
+      }
+      const std::string_view after = n < m.body_end ? t[n].text : "";
+
+      if (is_assign_op(after) || after == "++" || after == "--" ||
+          prev == "++" || prev == "--") {
+        add(line,
+            "writes member field '" + f.name + "'" + where +
+                "; during-epoch hooks may only touch epoch-constant or "
+                "bank-owned state",
+            suppress_here(line));
+        continue;
+      }
+      if (after == "->") {
+        if (!annotated_ec) {
+          add(line,
+              "call through pointer member '" + f.name + "'" + where +
+                  "; const-ness does not propagate through pointers, so the "
+                  "pointee may be mutated",
+              "annotate the declaration (" + info_.path_label + ":" +
+                  std::to_string(f.line) +
+                  ") with:  // delta-phase: epoch-constant  (if it is only "
+                  "mutated on the epoch barrier), or waive with " +
+                  suppress_here(line));
+        }
+        continue;
+      }
+      // Non-const reference bound to the field: `auto& e = field...`.
+      if (prev == "=" && k >= m.body_begin + 3 &&
+          t[k - 2].kind == TokKind::kIdent && t[k - 3].text == "&") {
+        bool is_const_ref = false;
+        for (std::size_t b = k - 3; b > m.body_begin; --b) {
+          const std::string_view v = t[b - 1].text;
+          if (v == ";" || v == "{" || v == "}") break;
+          if (v == "const") { is_const_ref = true; break; }
+        }
+        if (!is_const_ref) {
+          add(line,
+              "binds a non-const reference to member field '" + f.name +
+                  "'" + where + " (a mutation handle)",
+              suppress_here(line));
+          continue;
+        }
+      }
+      const bool member_call = after == "." && n + 2 < m.body_end &&
+                               t[n + 1].kind == TokKind::kIdent &&
+                               t[n + 2].text == "(";
+      if (f.is_mutable && m.is_const && !annotated_ec &&
+          (member_call || after == ".")) {
+        add(line,
+            "touches mutable member '" + f.name + "' from const method" +
+                where + "; mutable state bypasses the compiler's const "
+                "checking",
+            "annotate the declaration (" + info_.path_label + ":" +
+                std::to_string(f.line) +
+                ") with:  // delta-phase: epoch-constant, or waive with " +
+                suppress_here(line));
+        continue;
+      }
+      if (!m.is_const && member_call && !annotated_ec) {
+        add(line,
+            "member call on field '" + f.name + "' from non-const method" +
+                where + "; it may resolve to a mutating overload",
+            suppress_here(line));
+      }
+    }
+  }
+
+  const FileInfo& info_;
+  std::vector<std::string_view> raw_lines_;
+  TranslationUnit tu_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> phase_check(const FileInfo& info, std::string_view text) {
+  return PhaseChecker(info, text).run();
+}
+
+}  // namespace delta::lint

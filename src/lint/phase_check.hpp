@@ -1,0 +1,64 @@
+// Phase-effect checker: machine-checks the thread-locality contract of
+// `sim::Scheme` (src/sim/scheme.hpp).  The intra-run engine calls the
+// during-epoch hooks — map() / insert_mask() / evict_preference() /
+// on_insertion() — from parallel workers, so they may only touch
+// epoch-constant state or state owned by their `bank` argument; anything
+// cross-bank belongs in begin_epoch(), which runs on the epoch barrier.
+// TSan and test_intra enforce this dynamically; this checker rejects the
+// violating *source* so a broken seventh scheme fails `ctest -L lint`
+// instead of failing intermittently at runtime.
+//
+// For every class deriving from `Scheme` it computes the during-epoch
+// closure — the four hooks plus every member function transitively called
+// from them within the class — and reports, as rule `phase-effect`:
+//
+//   * a non-const hook or helper in the closure (on_insertion is exempt:
+//     its signature is non-const so it can update bank-owned bookkeeping);
+//   * a write to a member field (assignment, compound assignment, ++/--);
+//   * a non-const reference bound to a member field (a mutation handle);
+//   * a call through a pointer-like member (`ctrl_->...`): const-ness does
+//     not propagate through pointers, so the compiler cannot help;
+//   * any touch of a `mutable` member from a const method (the loophole
+//     the compiler leaves open);
+//   * a member-object call from a non-const closure method (it may resolve
+//     to a mutating overload);
+//   * calls into banned cross-bank Chip state: invalidate_core_chunks(),
+//     traffic(), event_sink(), slot(), bank().
+//
+// Legitimate carve-outs are annotated in source:
+//
+//   std::unique_ptr<Ctl> ctrl_;  // delta-phase: epoch-constant
+//     — the pointee is only mutated on the epoch barrier (reset /
+//       begin_epoch); during-epoch calls through it are reads.  Exempts
+//       pointer-call / mutable-touch / member-call findings on the field;
+//       *writes* to it during the epoch are still reported.
+//
+//   auto& e = enforcers_[bank];  // delta-lint: allow(phase-effect)
+//     — line-scoped waiver for provably bank-owned mutation (the WpUnit
+//       per-bank pattern).  Same grammar as every other lint rule.
+//
+// The checker is token-level and per-TU (see lint/ir.hpp): it sees the
+// scheme class, not the classes it embeds.  Nested state (e.g. WpUnit's
+// lazy mutable mask cache) is covered by the bank-owned argument plus the
+// dynamic layer.  docs/static-analysis.md documents the rule and the
+// "writing a new Scheme" checklist.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace delta::lint {
+
+/// Names of the during-epoch hooks of sim::Scheme, the roots of the
+/// checked closure.
+inline constexpr std::string_view kDuringEpochHooks[] = {
+    "map", "insert_mask", "evict_preference", "on_insertion"};
+
+/// Runs the phase-effect rule over one translation unit's text.  Findings
+/// are sorted by line and respect `// delta-lint: allow(phase-effect)` /
+/// `// delta-phase: epoch-constant` annotations.
+std::vector<Finding> phase_check(const FileInfo& info, std::string_view text);
+
+}  // namespace delta::lint

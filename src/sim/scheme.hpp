@@ -62,7 +62,14 @@ std::string_view to_string(SchemeKind k);
 // Anything cross-bank (reallocation, challenges, bulk invalidation) belongs
 // in begin_epoch(), which runs on the epoch barrier.  All six in-tree
 // schemes satisfy this; test_intra enforces it end to end and the TSan CI
-// job watches for violations dynamically.
+// job watches for violations dynamically.  The contract is also checked
+// statically: the phase-effect lint (lint/phase_check.hpp, ctest label
+// `lint-semantic`) walks every Scheme subclass's during-epoch closure and
+// rejects member writes, non-const helpers, unannotated pointer-member
+// calls and banned cross-bank Chip calls.  Legitimate carve-outs are
+// annotated in-source with `// delta-phase: epoch-constant` (field only
+// mutated on the epoch barrier) or `// delta-lint: allow(phase-effect)`
+// (line-scoped waiver) — see docs/static-analysis.md.
 class Scheme {
  public:
   virtual ~Scheme() = default;

@@ -164,7 +164,9 @@ class DeltaScheme final : public Scheme {
   void on_insertion(Chip&, CoreId owner, BankId bank,
                     const mem::AccessResult& res) override {
     if (!occupancy_mode_) return;
-    auto& e = enforcers_[static_cast<std::size_t>(bank)];
+    // Bank-owned state: on_insertion is only ever invoked by the worker
+    // that owns `bank` this phase, so the mutable handle is race-free.
+    auto& e = enforcers_[static_cast<std::size_t>(bank)];  // delta-lint: allow(phase-effect)
     e.on_insert(owner);
     if (res.evicted && res.victim_owner != kInvalidCore) e.on_evict(res.victim_owner);
   }
@@ -206,7 +208,9 @@ class DeltaScheme final : public Scheme {
     }
   }
 
-  std::unique_ptr<core::DeltaController> ctrl_;
+  // The controller is rebuilt only in reset()/begin_epoch() (on the epoch
+  // barrier) and is read-only while workers run the during-epoch hooks.
+  std::unique_ptr<core::DeltaController> ctrl_;  // delta-phase: epoch-constant
   bool occupancy_mode_ = false;
   std::vector<core::OccupancyEnforcer> enforcers_;
 };

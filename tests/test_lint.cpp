@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 
 namespace delta::lint {
 namespace {
@@ -211,7 +213,7 @@ TEST(LintMachinery, SuppressionIsRuleSpecific) {
 }
 
 TEST(LintMachinery, FormatIsFileLineRule) {
-  Finding f{"src/x.cpp", 12, "naked-new", "naked new"};
+  Finding f{"src/x.cpp", 12, "naked-new", "naked new", {}};
   EXPECT_EQ(format(f), "src/x.cpp:12: naked-new: naked new");
 }
 
@@ -230,6 +232,118 @@ TEST(LintMachinery, RepositorySourceTreeIsClean) {
   // The tree walk itself is exercised end-to-end by the `delta_lint` ctest;
   // here: linting an empty/missing directory yields no findings.
   EXPECT_TRUE(lint_tree("/nonexistent-delta-lint-root").empty());
+}
+
+// ---------------------------------------------------------------- tree walk
+
+namespace fs = std::filesystem;
+
+/// Scratch tree under the test temp dir; removed on destruction.
+struct ScratchTree {
+  fs::path root;
+  explicit ScratchTree(const std::string& name)
+      : root(fs::path(::testing::TempDir()) / name) {
+    fs::remove_all(root);
+    fs::create_directories(root);
+  }
+  ~ScratchTree() { fs::remove_all(root); }
+  void put(const std::string& rel, std::string_view text) const {
+    const fs::path p = root / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << text;
+  }
+};
+
+TEST(LintTreeWalk, SkipsBuildAndDotDirectories) {
+  ScratchTree t("delta_lint_walk_skip");
+  t.put("a.cpp", "int* p = new int;\n");
+  t.put("build/gen.cpp", "int* p = new int;\n");
+  t.put("build-release/gen.cpp", "int* p = new int;\n");
+  t.put(".cache/x.cpp", "int* p = new int;\n");
+  const auto fs_found = lint_tree(t.root);
+  ASSERT_EQ(fs_found.size(), 1u);
+  // Only the real source is linted; generated trees never produce findings.
+  EXPECT_NE(fs_found[0].file.find("a.cpp"), std::string::npos);
+  EXPECT_EQ(fs_found[0].file.find("build"), std::string::npos);
+}
+
+TEST(LintTreeWalk, WalkOrderIsDeterministicAndSorted) {
+  ScratchTree t("delta_lint_walk_order");
+  // Names chosen so creation order differs from lexicographic order.
+  t.put("zeta.cpp", "int* a = new int;\n");
+  t.put("alpha.cpp", "int* b = new int;\n");
+  t.put("mid/beta.cpp", "int* c = new int;\n");
+  const auto first = lint_tree(t.root);
+  ASSERT_EQ(first.size(), 3u);
+  // Findings come back sorted by (file, line, rule) — the contract the
+  // baseline format and CI diffing rely on.
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file < b.file;
+                             }));
+  EXPECT_NE(first[0].file.find("alpha.cpp"), std::string::npos);
+  EXPECT_NE(first[1].file.find("mid/beta.cpp"), std::string::npos);
+  EXPECT_NE(first[2].file.find("zeta.cpp"), std::string::npos);
+  // A second walk reproduces the first byte for byte.
+  const auto second = lint_tree(t.root);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second[i].file, first[i].file);
+    EXPECT_EQ(second[i].line, first[i].line);
+    EXPECT_EQ(second[i].rule, first[i].rule);
+  }
+}
+
+TEST(LintTreeWalk, RuleFilterSelectsSubset) {
+  ScratchTree t("delta_lint_walk_filter");
+  t.put("a.cpp", "int* p = new int(rand());\n");
+  TreeOptions only_new;
+  only_new.rules = {"naked-new"};
+  const auto fs_found = lint_tree(t.root, only_new);
+  ASSERT_EQ(fs_found.size(), 1u);
+  EXPECT_EQ(fs_found[0].rule, "naked-new");
+}
+
+// ---------------------------------------------------------------- baseline
+
+TEST(LintBaseline, ParsesEntriesSkippingCommentsAndBlanks) {
+  ScratchTree t("delta_lint_baseline");
+  t.put("base.txt",
+        "# findings accepted while the refactor lands\n"
+        "\n"
+        "  src/sim/chip.cpp:layering  \n"
+        "src/core/cbt.hpp:phase-effect\n");
+  bool ok = false;
+  const Baseline b = load_baseline(t.root / "base.txt", &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(b.entries.size(), 2u);
+  EXPECT_EQ(b.entries[0].first, "src/sim/chip.cpp");
+  EXPECT_EQ(b.entries[0].second, "layering");
+  EXPECT_EQ(b.entries[1].first, "src/core/cbt.hpp");
+  EXPECT_EQ(b.entries[1].second, "phase-effect");
+}
+
+TEST(LintBaseline, UnreadableFileReportsNotOk) {
+  bool ok = true;
+  const Baseline b = load_baseline("/nonexistent-delta-baseline", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(b.entries.empty());
+}
+
+TEST(LintBaseline, WaivesMatchingFindingsOnly) {
+  std::vector<Finding> fs_found = {
+      {"src/a.cpp", 3, "layering", "d", {}},
+      {"src/a.cpp", 9, "naked-new", "d", {}},
+      {"src/b.cpp", 1, "layering", "d", {}},
+  };
+  Baseline b;
+  b.entries = {{"src/a.cpp", "layering"}};
+  // Matching is (file, rule) — line-agnostic, so baselines survive edits
+  // elsewhere in the file; the other rule and the other file stay reported.
+  EXPECT_EQ(apply_baseline(b, fs_found), 1u);
+  ASSERT_EQ(fs_found.size(), 2u);
+  EXPECT_EQ(fs_found[0].rule, "naked-new");
+  EXPECT_EQ(fs_found[1].file, "src/b.cpp");
 }
 
 }  // namespace

@@ -1,0 +1,257 @@
+// Unit tests for the phase-effect checker (src/lint/phase_check.hpp): the
+// sim::Scheme thread-locality contract, verified over synthetic scheme
+// snippets — good schemes pass, each contract violation is caught at the
+// right line, and both annotation escapes (`// delta-phase: epoch-constant`
+// and `// delta-lint: allow(phase-effect)`) are honored.
+#include "lint/phase_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint/lint.hpp"
+
+namespace delta::lint {
+namespace {
+
+std::vector<Finding> check(std::string_view text) {
+  FileInfo info;
+  info.path_label = "src/fake/scheme.cpp";
+  return phase_check(info, text);
+}
+
+bool mentions(const std::vector<Finding>& fs, std::string_view needle) {
+  return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) {
+    return f.detail.find(needle) != std::string::npos;
+  });
+}
+
+// ---------------------------------------------------------------- clean schemes
+
+TEST(PhaseCheck, ConstHooksReadingPlainMembersAreClean) {
+  const auto fs = check(
+      "class GoodScheme : public Scheme {\n"
+      " public:\n"
+      "  BankTarget map(const Chip& chip, CoreId core, BlockAddr b) const override {\n"
+      "    return BankTarget{route(core, b), 0};\n"
+      "  }\n"
+      "  mem::WayMask insert_mask(const Chip&, CoreId, BankId bank) const override {\n"
+      "    return masks_[bank];\n"
+      "  }\n"
+      " private:\n"
+      "  BankId route(CoreId c, BlockAddr b) const { return table_[c]; }\n"
+      "  std::vector<BankId> table_;\n"
+      "  std::vector<mem::WayMask> masks_;\n"
+      "};\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(PhaseCheck, NonSchemeClassesAreNotChecked) {
+  const auto fs = check(
+      "class Helper {\n"
+      " public:\n"
+      "  int map(int x) { count_ += 1; return count_; }\n"
+      " private:\n"
+      "  int count_ = 0;\n"
+      "};\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(PhaseCheck, MutationInBeginEpochIsLegal) {
+  // begin_epoch runs on the epoch barrier — it is outside the during-epoch
+  // closure and may rewrite anything.
+  const auto fs = check(
+      "class EpochScheme : public Scheme {\n"
+      " public:\n"
+      "  void begin_epoch(Chip& chip, std::uint64_t e) override {\n"
+      "    alloc_ = recompute(chip);\n"
+      "    epoch_ = e;\n"
+      "  }\n"
+      "  BankTarget map(const Chip&, CoreId c, BlockAddr) const override {\n"
+      "    return BankTarget{alloc_[c], 0};\n"
+      "  }\n"
+      " private:\n"
+      "  std::vector<BankId> alloc_;\n"
+      "  std::uint64_t epoch_ = 0;\n"
+      "};\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------- violations
+
+TEST(PhaseCheck, FieldWriteInsideInsertMaskIsRejected) {
+  // The acceptance-criteria fixture: a deliberately broken scheme that
+  // counts calls from inside a during-epoch hook.
+  const auto fs = check(
+      "class BrokenScheme : public Scheme {\n"
+      " public:\n"
+      "  mem::WayMask insert_mask(const Chip&, CoreId, BankId) const override {\n"
+      "    calls_ += 1;\n"
+      "    return mask_;\n"
+      "  }\n"
+      " private:\n"
+      "  mutable long calls_ = 0;\n"
+      "  mem::WayMask mask_;\n"
+      "};\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "phase-effect");
+  EXPECT_EQ(fs[0].line, 4);
+  EXPECT_TRUE(mentions(fs, "writes member field 'calls_'"));
+}
+
+TEST(PhaseCheck, NonConstHookIsFlagged) {
+  const auto fs = check(
+      "class Drifty : public Scheme {\n"
+      " public:\n"
+      "  BankTarget map(const Chip&, CoreId c, BlockAddr) override {\n"
+      "    return BankTarget{0, 0};\n"
+      "  }\n"
+      "};\n");
+  ASSERT_FALSE(fs.empty());
+  EXPECT_TRUE(mentions(fs, "'Drifty::map' is not const-qualified"));
+}
+
+TEST(PhaseCheck, NonConstCallChainIsFlaggedTransitively) {
+  // The hook itself is const, but it reaches a non-const helper that
+  // mutates a member — the closure walk must catch both the helper's
+  // missing const and the write inside it.
+  const auto fs = check(
+      "class ChainScheme : public Scheme {\n"
+      " public:\n"
+      "  BankTarget map(const Chip&, CoreId c, BlockAddr) const override {\n"
+      "    return BankTarget{pick(c), 0};\n"
+      "  }\n"
+      " private:\n"
+      "  BankId pick(CoreId c) { last_ = c; return 0; }\n"
+      "  CoreId last_ = 0;\n"
+      "};\n");
+  EXPECT_TRUE(mentions(fs, "'ChainScheme::pick' is not const-qualified"));
+  EXPECT_TRUE(mentions(fs, "writes member field 'last_'"));
+}
+
+TEST(PhaseCheck, PointerMemberCallIsFlaggedWithoutAnnotation) {
+  const auto fs = check(
+      "class PtrScheme : public Scheme {\n"
+      " public:\n"
+      "  BankTarget map(const Chip&, CoreId c, BlockAddr b) const override {\n"
+      "    return BankTarget{ctrl_->bank_for(c, b), 0};\n"
+      "  }\n"
+      " private:\n"
+      "  std::unique_ptr<Controller> ctrl_;\n"
+      "};\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(mentions(fs, "call through pointer member 'ctrl_'"));
+  // The suggestion names the declaration line to annotate.
+  EXPECT_NE(fs[0].suggestion.find("delta-phase: epoch-constant"),
+            std::string::npos);
+  EXPECT_NE(fs[0].suggestion.find("scheme.cpp:7"), std::string::npos);
+}
+
+TEST(PhaseCheck, BannedCrossBankChipCallIsFlagged) {
+  const auto fs = check(
+      "class Invalidator : public Scheme {\n"
+      " public:\n"
+      "  mem::WayMask insert_mask(const Chip& chip, CoreId c, BankId) const override {\n"
+      "    chip.invalidate_core_chunks(c);\n"
+      "    return mem::WayMask{};\n"
+      "  }\n"
+      "};\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(mentions(fs, "cross-bank chip state 'invalidate_core_chunks()'"));
+  EXPECT_TRUE(mentions(fs, "begin_epoch()"));
+}
+
+TEST(PhaseCheck, NonConstRefBindToMemberIsFlagged) {
+  const auto fs = check(
+      "class RefScheme : public Scheme {\n"
+      " public:\n"
+      "  void on_insertion(Chip&, CoreId o, BankId bank,\n"
+      "                    const mem::AccessResult&) override {\n"
+      "    auto& e = slots_[bank];\n"
+      "    e.bump(o);\n"
+      "  }\n"
+      " private:\n"
+      "  std::vector<Slot> slots_;\n"
+      "};\n");
+  EXPECT_TRUE(mentions(fs, "binds a non-const reference to member field"));
+}
+
+TEST(PhaseCheck, ConstRefBindIsClean) {
+  const auto fs = check(
+      "class ConstRefScheme : public Scheme {\n"
+      " public:\n"
+      "  CoreId evict_preference(const Chip&, CoreId, BankId bank) const override {\n"
+      "    const auto& e = slots_[bank];\n"
+      "    return e.victim();\n"
+      "  }\n"
+      " private:\n"
+      "  std::vector<Slot> slots_;\n"
+      "};\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------- annotations
+
+TEST(PhaseCheck, EpochConstantAnnotationExemptsPointerCalls) {
+  const auto fs = check(
+      "class AnnotatedScheme : public Scheme {\n"
+      " public:\n"
+      "  BankTarget map(const Chip&, CoreId c, BlockAddr b) const override {\n"
+      "    return BankTarget{ctrl_->bank_for(c, b), 0};\n"
+      "  }\n"
+      " private:\n"
+      "  std::unique_ptr<Controller> ctrl_;  // delta-phase: epoch-constant\n"
+      "};\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(PhaseCheck, EpochConstantDoesNotExemptWrites) {
+  // The annotation promises the *pointee* is frozen during the epoch; a
+  // direct assignment to the member is a write and stays flagged.
+  const auto fs = check(
+      "class Cheater : public Scheme {\n"
+      " public:\n"
+      "  mem::WayMask insert_mask(const Chip&, CoreId, BankId) const override {\n"
+      "    cache_ = nullptr;\n"
+      "    return mem::WayMask{};\n"
+      "  }\n"
+      " private:\n"
+      "  mutable Controller* cache_;  // delta-phase: epoch-constant\n"
+      "};\n");
+  EXPECT_TRUE(mentions(fs, "writes member field 'cache_'"));
+}
+
+TEST(PhaseCheck, LineSuppressionIsHonored) {
+  const auto fs = check(
+      "class Waived : public Scheme {\n"
+      " public:\n"
+      "  void on_insertion(Chip&, CoreId o, BankId bank,\n"
+      "                    const mem::AccessResult&) override {\n"
+      "    auto& e = slots_[bank];  // delta-lint: allow(phase-effect)\n"
+      "    e.bump(o);\n"
+      "  }\n"
+      " private:\n"
+      "  std::vector<Slot> slots_;\n"
+      "};\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(PhaseCheck, SuggestionsArePasteReady) {
+  const auto fs = check(
+      "class Sloppy : public Scheme {\n"
+      " public:\n"
+      "  mem::WayMask insert_mask(const Chip&, CoreId, BankId) const override {\n"
+      "    hits_ += 1;\n"
+      "    return mem::WayMask{};\n"
+      "  }\n"
+      " private:\n"
+      "  mutable long hits_ = 0;\n"
+      "};\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].suggestion.find("// delta-lint: allow(phase-effect)"),
+            std::string::npos);
+  EXPECT_NE(fs[0].suggestion.find("src/fake/scheme.cpp:4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace delta::lint
