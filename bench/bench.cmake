@@ -28,14 +28,19 @@ delta_bench(ablation_params)
 delta_bench(ablation_cbt_bits)
 delta_bench(ext_mt_integrated)
 delta_bench(ext_underutilized)
+delta_bench(ext_irregular)
 delta_bench(shootout)
 delta_bench(micro_obs_overhead)
 delta_bench(micro_prof_overhead)
 delta_bench(micro_throughput)
 
+# micro_components provides its own main (ProfScope wrapping, so
+# --prof-out/--metrics-out work uniformly) — benchmark::benchmark only,
+# no benchmark_main.
 add_executable(micro_components ${CMAKE_SOURCE_DIR}/bench/micro_components.cpp)
 target_link_libraries(micro_components PRIVATE
   delta_sim delta_core delta_alloc delta_workload delta_umon delta_noc
-  delta_mem delta_common benchmark::benchmark benchmark::benchmark_main)
+  delta_mem delta_obs delta_common benchmark::benchmark)
+target_include_directories(micro_components PRIVATE ${CMAKE_SOURCE_DIR}/bench)
 set_target_properties(micro_components PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -132,6 +132,15 @@ inline std::vector<std::string> all_mix_names() {
   return names;
 }
 
+/// The irregular-access mixes (wi1..wi3) — kept separate from
+/// all_mix_names() so the paper-figure benches stay on the Table IV set;
+/// the shootout and ext_irregular run them in addition.
+inline std::vector<std::string> irregular_mix_names() {
+  std::vector<std::string> names;
+  for (const auto& m : workload::irregular_mixes()) names.push_back(m.name);
+  return names;
+}
+
 /// Sweep variant: all four schemes on every named mix, fanned over `jobs`
 /// threads (0 == hardware concurrency).  Results come back in mix order
 /// and are byte-identical to looping run_comparison serially.

@@ -1,7 +1,13 @@
 // google-benchmark microbenches of the hot components: per-access cache
 // cost, UMON updates, CBT lookups/rebuilds, pain/gain evaluation, the
 // allocation algorithms and the NoC helpers.
+//
+// Custom main instead of benchmark_main: the run is wrapped in
+// bench::ProfScope so --prof-out/--metrics-out/--prof-level work here
+// exactly as in every other harness (docs/observability.md).
 #include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
 
 #include "alloc/lookahead.hpp"
 #include "alloc/peekahead.hpp"
@@ -147,3 +153,14 @@ void BM_TraceGenNext(benchmark::State& state) {
 BENCHMARK(BM_TraceGenNext);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // ProfScope reads its own flags before google-benchmark sees argv; the
+  // unrecognised-argument check is deliberately skipped since --prof-out &
+  // co. legitimately stay behind after benchmark::Initialize.
+  const bench::ProfScope prof(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

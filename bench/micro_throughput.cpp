@@ -1,12 +1,20 @@
 // Throughput-regression harness (docs/performance.md).
 //
-// Three measurements, all emitted to BENCH_throughput.json:
+// The measurements, all emitted to BENCH_throughput.json:
 //   * cache kernel  — the live SoA SetAssocCache vs the frozen pre-rewrite
-//     AoS copy (legacy_cache.hpp) on an identical synthetic stream.  The
-//     new/legacy ratio is the machine-independent record of the hot-path
-//     rewrite's payoff and the number CI regresses against.
+//     AoS copy (legacy_cache.hpp) on an identical synthetic stream, with a
+//     full-field oracle replay first (every AccessResult must match before
+//     anything is timed).  The new/legacy ratio is the machine-independent
+//     record of the hot-path rewrite's payoff and the number CI regresses
+//     against.
+//   * simd          — per-kernel vector-vs-scalar ratios (match_u64 and
+//     find_u64 against their reference loops) plus the compiled backend
+//     name; ~1.0x by construction under -DDELTA_NO_SIMD (new in v4).
 //   * simulator     — measured accesses/sec of a short w6 16-core run per
 //     scheme (best of `reps`), the end-to-end single-thread figure.
+//   * irregular     — the same end-to-end figure on the wi1 irregular mix
+//     under delta: the flat-miss-curve family stresses the eviction path
+//     instead of the hit path (new in v4).
 //   * sweep         — wall-clock of a small all-scheme sweep at --jobs 1
 //     vs --jobs N, with a byte-identity check on the results.  On a 1-CPU
 //     host the ratio is ~1 by construction; `hw_threads` is recorded so
@@ -27,6 +35,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "legacy_cache.hpp"
 #include "mem/cache.hpp"
 #include "obs/export.hpp"
@@ -65,6 +74,23 @@ KernelStream make_stream(std::size_t n, std::uint32_t sets, int footprint_ways) 
   return s;
 }
 
+/// Oracle replay: fresh instances of both engines walk the stream together
+/// and every AccessResult field must agree.  This is the bit-exactness gate
+/// the timing below rides on — a fast-but-wrong kernel fails here first.
+bool replay_identical(const KernelStream& s) {
+  mem::SetAssocCache soa(512, 16);
+  bench::legacy::SetAssocCache aos(512, 16);
+  const mem::WayMask all = mem::full_mask(soa.ways());
+  for (std::size_t i = 0; i < s.sets.size(); ++i) {
+    const mem::AccessResult a = soa.access(s.sets[i], s.blocks[i], s.owners[i], all);
+    const mem::AccessResult b = aos.access(s.sets[i], s.blocks[i], s.owners[i], all);
+    if (a.hit != b.hit || a.evicted != b.evicted || a.way != b.way ||
+        a.victim_block != b.victim_block || a.victim_owner != b.victim_owner)
+      return false;
+  }
+  return true;
+}
+
 template <typename Cache>
 double kernel_accesses_per_sec(Cache& cache, const KernelStream& s, int reps) {
   const mem::WayMask all = mem::full_mask(cache.ways());
@@ -80,6 +106,77 @@ double kernel_accesses_per_sec(Cache& cache, const KernelStream& s, int reps) {
     if (dt < best) best = dt;
   }
   return static_cast<double>(s.sets.size()) / best;
+}
+
+/// One simd-vs-scalar kernel measurement: ops/sec for each flavour plus the
+/// ratio.  Both loops run over identical pre-generated data in the same
+/// process, so the ratio is a property of the compiled backend, not the host
+/// load (the same argument as the cache-kernel ratio).
+struct SimdKernelPoint {
+  double simd_ops_per_sec = 0.0;
+  double scalar_ops_per_sec = 0.0;
+  double ratio = 0.0;
+};
+
+template <typename F>
+double ops_per_sec(std::size_t ops, int reps, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    const std::uint64_t sink = body();
+    const double dt = seconds_since(t0);
+    if (sink == ~std::uint64_t{0}) std::printf(" ");  // Defeat dead-code elim.
+    if (dt < best) best = dt;
+  }
+  return static_cast<double>(ops) / best;
+}
+
+/// match_u64 over 16-way tag rows — the cache hit path's shape.
+SimdKernelPoint bench_match(int reps, std::size_t rows_n) {
+  Rng rng(7);
+  std::vector<std::uint64_t> rows(rows_n * 16);
+  for (auto& v : rows) v = rng.below(64);  // Small pool => frequent matches.
+  SimdKernelPoint p;
+  p.simd_ops_per_sec = ops_per_sec(rows_n, reps, [&] {
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < rows_n; ++i)
+      sink += simd::match_u64(rows.data() + i * 16, 16, i & 63);
+    return sink;
+  });
+  p.scalar_ops_per_sec = ops_per_sec(rows_n, reps, [&] {
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < rows_n; ++i)
+      sink += simd::match_u64_scalar(rows.data() + i * 16, 16, i & 63);
+    return sink;
+  });
+  p.ratio = p.simd_ops_per_sec / p.scalar_ops_per_sec;
+  return p;
+}
+
+/// find_u64 over 192-entry stacks — the UMON shadow-tag search's shape
+/// (most probes miss deep or entirely).
+SimdKernelPoint bench_find(int reps, std::size_t probes_n) {
+  constexpr std::size_t kStack = 192;
+  Rng rng(9);
+  std::vector<std::uint64_t> stack(kStack);
+  for (std::size_t i = 0; i < kStack; ++i) stack[i] = i * 2 + 1;
+  std::vector<std::uint64_t> keys(probes_n);
+  for (auto& k : keys) k = rng.below(kStack * 4);  // ~25% hit rate, any depth.
+  SimdKernelPoint p;
+  p.simd_ops_per_sec = ops_per_sec(probes_n, reps, [&] {
+    std::uint64_t sink = 0;
+    for (const std::uint64_t k : keys)
+      sink += simd::find_u64(stack.data(), kStack, k);
+    return sink;
+  });
+  p.scalar_ops_per_sec = ops_per_sec(probes_n, reps, [&] {
+    std::uint64_t sink = 0;
+    for (const std::uint64_t k : keys)
+      sink += simd::find_u64_scalar(stack.data(), kStack, k);
+    return sink;
+  });
+  p.ratio = p.simd_ops_per_sec / p.scalar_ops_per_sec;
+  return p;
 }
 
 struct SchemeThroughput {
@@ -135,6 +232,10 @@ int main(int argc, char** argv) {
   const std::size_t stream_len = quick ? 1'000'000 : 4'000'000;
   const KernelStream hit_stream = make_stream(stream_len, 512, 12);
   const KernelStream miss_stream = make_stream(stream_len, 512, 24);
+  const bool replay_ok =
+      replay_identical(hit_stream) && replay_identical(miss_stream);
+  std::printf("cache kernel oracle replay: %s\n",
+              replay_ok ? "identical" : "DIVERGENT");
   double hit_ratio = 0.0, miss_ratio = 0.0;
   double soa_hit_rate = 0.0, aos_hit_rate = 0.0;
   double soa_miss_rate = 0.0, aos_miss_rate = 0.0;
@@ -156,6 +257,13 @@ int main(int argc, char** argv) {
               "ratio %.2fx\n", soa_hit_rate, aos_hit_rate, hit_ratio);
   std::printf("cache kernel (thrashing):  SoA %.0f acc/s, legacy %.0f acc/s, "
               "ratio %.2fx\n", soa_miss_rate, aos_miss_rate, miss_ratio);
+
+  // ---- SIMD kernels vs their scalar references (new in v4). ----
+  const std::size_t simd_ops = quick ? 1'000'000 : 4'000'000;
+  const SimdKernelPoint match_pt = bench_match(reps, simd_ops);
+  const SimdKernelPoint find_pt = bench_find(reps, simd_ops / 8);
+  std::printf("simd backend %s: match_u64 %.2fx scalar, find_u64 %.2fx scalar\n",
+              simd::backend_name(), match_pt.ratio, find_pt.ratio);
 
   // ---- Single-thread simulator throughput per scheme. ----
   sim::MachineConfig cfg = sim::config16();
@@ -179,6 +287,15 @@ int main(int argc, char** argv) {
     std::printf("simulator %-14s %.0f meas-accesses/sec\n",
                 schemes.back().scheme.c_str(), schemes.back().accesses_per_sec);
   }
+
+  // ---- Irregular-mix throughput (new in v4): wi1 under delta. ----
+  // The flat-miss-curve kernels drive the engine through the miss/eviction
+  // path almost exclusively — the complementary regime to w6 above.
+  const workload::Mix irr_mix = sim::mix_for_config(cfg, "wi1");
+  const SchemeThroughput irr =
+      sim_throughput(cfg, irr_mix, sim::SchemeKind::kDelta, reps);
+  std::printf("irregular (wi1, delta)   %.0f meas-accesses/sec\n",
+              irr.accesses_per_sec);
 
   // ---- Sweep: serial vs parallel wall-clock + byte-identity. ----
   sim::MachineConfig sweep_cfg = cfg;
@@ -281,11 +398,13 @@ int main(int argc, char** argv) {
   // ---- BENCH_throughput.json. ----
   std::string j;
   j += "{\n";
-  j += "  \"schema\": \"delta-bench-throughput-v3\",\n";
+  j += "  \"schema\": \"delta-bench-throughput-v4\",\n";
   j += "  \"hw_threads\": " +
        obs::json_num(static_cast<double>(std::thread::hardware_concurrency())) + ",\n";
   j += "  \"jobs\": " + obs::json_num(static_cast<double>(jobs)) + ",\n";
   j += "  \"cache_kernel\": {\n";
+  j += std::string("    \"replay_identical\": ") +
+       (replay_ok ? "true" : "false") + ",\n";
   j += "    \"hit_heavy\": {\n";
   j += "      \"soa_accesses_per_sec\": " + obs::json_num(soa_hit_rate) + ",\n";
   j += "      \"legacy_accesses_per_sec\": " + obs::json_num(aos_hit_rate) + ",\n";
@@ -310,6 +429,26 @@ int main(int argc, char** argv) {
          obs::json_num(ref > 0.0 ? schemes[i].accesses_per_sec / ref : 0.0) + "\n";
     j += i + 1 < schemes.size() ? "    },\n" : "    }\n";
   }
+  j += "  },\n";
+  j += "  \"simd\": {\n";
+  j += "    \"backend\": \"" + std::string(simd::backend_name()) + "\",\n";
+  const auto simd_obj = [](const char* name, const SimdKernelPoint& p,
+                           bool last) {
+    std::string o = "    \"" + std::string(name) + "\": {\n";
+    o += "      \"simd_ops_per_sec\": " + obs::json_num(p.simd_ops_per_sec) + ",\n";
+    o += "      \"scalar_ops_per_sec\": " + obs::json_num(p.scalar_ops_per_sec) +
+         ",\n";
+    o += "      \"simd_over_scalar\": " + obs::json_num(p.ratio) + "\n";
+    o += last ? "    }\n" : "    },\n";
+    return o;
+  };
+  j += simd_obj("match_u64", match_pt, false);
+  j += simd_obj("find_u64", find_pt, true);
+  j += "  },\n";
+  j += "  \"irregular\": {\n";
+  j += "    \"mix\": \"wi1\",\n";
+  j += "    \"scheme\": \"delta\",\n";
+  j += "    \"accesses_per_sec\": " + obs::json_num(irr.accesses_per_sec) + "\n";
   j += "  },\n";
   j += "  \"sweep\": {\n";
   j += "    \"runs\": 8,\n";
@@ -360,7 +499,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out_path.c_str());
-  if (!identical || !intra_identical) return 2;
+  if (!replay_ok || !identical || !intra_identical) return 2;
   // Loose regression floor: the SoA kernel falling below 70% of the frozen
   // legacy engine means the hot-path rewrite has been badly regressed (the
   // slack absorbs shared-runner noise; healthy ratios sit well above 1).

@@ -102,8 +102,13 @@ int main(int argc, char** argv) {
   }
   const unsigned jobs = bench::parse_jobs(argc, argv);
 
+  // Table IV mixes plus the irregular-access family: the flat-miss-curve
+  // kernels are exactly where the allocator families disagree the most.
   std::vector<std::string> names = bench::all_mix_names();
   if (quick) names.resize(names.size() < 6 ? names.size() : 6);
+  const std::vector<std::string> irregular = bench::irregular_mix_names();
+  names.insert(names.end(), irregular.begin(),
+               quick ? irregular.begin() + 1 : irregular.end());
 
   std::string report;
   shootout_at(sim::config16(), "16 tiles", names, quick, jobs, report);

@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
+#include "workload/irregular.hpp"
 #include "workload/mixes.hpp"
 #include "workload/spec.hpp"
 
@@ -48,8 +49,21 @@ sim::MachineConfig draw_config(Rng& rng, std::uint64_t seed,
   return cfg;
 }
 
+// Every drawable app: the Table III stand-ins plus the irregular-access
+// kernels, so fuzz cases also exercise the flat-miss-curve paths of each
+// allocator (pain/gain and clustering with nothing to gain).
+const std::vector<const workload::AppProfile*>& fuzz_app_pool() {
+  static const std::vector<const workload::AppProfile*> pool = [] {
+    std::vector<const workload::AppProfile*> v;
+    for (const auto& p : workload::spec_profiles()) v.push_back(&p);
+    for (const auto& p : workload::irregular_profiles()) v.push_back(&p);
+    return v;
+  }();
+  return pool;
+}
+
 workload::Mix draw_mix(Rng& rng, std::uint64_t seed, int cores) {
-  const auto& profiles = workload::spec_profiles();
+  const auto& profiles = fuzz_app_pool();
   workload::Mix mix;
   mix.name = "fuzz-" + std::to_string(seed);
   mix.composition = "fuzz";
@@ -58,11 +72,11 @@ workload::Mix draw_mix(Rng& rng, std::uint64_t seed, int cores) {
     if (rng.chance(0.2)) {
       mix.apps.push_back("idle");
     } else {
-      mix.apps.push_back(profiles[rng.below(profiles.size())].short_name);
+      mix.apps.push_back(profiles[rng.below(profiles.size())]->short_name);
       any_active = true;
     }
   }
-  if (!any_active) mix.apps[0] = profiles.front().short_name;
+  if (!any_active) mix.apps[0] = profiles.front()->short_name;
   return mix;
 }
 
@@ -120,6 +134,7 @@ FuzzCaseResult run_fuzz_case(std::uint64_t seed, const FuzzOptions& opt) {
 FuzzReport run_fuzz(const FuzzOptions& opt) {
   // Warm lazily-initialised singletons before fanning out workers.
   (void)workload::spec_profiles();
+  (void)workload::irregular_profiles();
 
   FuzzReport report;
   report.cases.resize(static_cast<std::size_t>(opt.cases < 0 ? 0 : opt.cases));

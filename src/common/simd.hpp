@@ -1,0 +1,235 @@
+// The single SIMD entry point of the codebase.
+//
+// Every intrinsic lives here — the delta_lint `raw-intrinsic` rule bans
+// intrinsic headers and `_mm*`/`__builtin_prefetch` tokens everywhere else
+// in src/, so callers always go through this dispatch layer and the scalar
+// fallback stays exercised (CI builds -DDELTA_NO_SIMD=ON).
+//
+// Backend selection is compile-time: SSE2 on x86-64, NEON on AArch64, a
+// branch-free uint64 SWAR loop elsewhere, and plain scalar when
+// DELTA_NO_SIMD is defined.  All kernels compute *exact* 64-bit equality,
+// so every backend is bit-identical to `match_u64_scalar` by construction —
+// the property the cache/UMON equivalence suites and the frozen
+// legacy-oracle replay in micro_throughput verify end to end
+// (docs/performance.md "Vectorized kernels").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(DELTA_NO_SIMD)
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+#include <emmintrin.h>
+#define DELTA_SIMD_SSE2 1
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#include <arm_neon.h>
+#define DELTA_SIMD_NEON 1
+#else
+#define DELTA_SIMD_SWAR 1
+#endif
+#endif
+
+namespace delta::simd {
+
+/// Name of the compiled-in backend, for bench/diagnostic output.
+constexpr const char* backend_name() {
+#if defined(DELTA_SIMD_SSE2)
+  return "sse2";
+#elif defined(DELTA_SIMD_NEON)
+  return "neon";
+#elif defined(DELTA_SIMD_SWAR)
+  return "swar";
+#else
+  return "scalar";
+#endif
+}
+
+/// Scalar reference kernel: bit i of the result is set iff vals[i] == key,
+/// for i in [0, n), n <= 32.  The vector kernels below must return exactly
+/// this value on every input — tests/test_simd.cpp checks all widths.
+inline std::uint32_t match_u64_scalar(const std::uint64_t* vals, int n,
+                                      std::uint64_t key) {
+  std::uint32_t m = 0;
+  for (int i = 0; i < n; ++i)
+    m |= static_cast<std::uint32_t>(vals[i] == key) << i;
+  return m;
+}
+
+namespace detail {
+
+/// Branch-free "is nonzero" for one u64: 1 when z != 0, else 0.
+inline std::uint64_t nonzero_u64(std::uint64_t z) {
+  return (z | (0 - z)) >> 63;
+}
+
+/// SWAR 4-lane match: bits [0,4) of the result flag vals[0..3] == key.
+inline std::uint32_t match4_swar(const std::uint64_t* vals, std::uint64_t key) {
+  const std::uint64_t z0 = vals[0] ^ key;
+  const std::uint64_t z1 = vals[1] ^ key;
+  const std::uint64_t z2 = vals[2] ^ key;
+  const std::uint64_t z3 = vals[3] ^ key;
+  return static_cast<std::uint32_t>((nonzero_u64(z0) ^ 1) |
+                                    ((nonzero_u64(z1) ^ 1) << 1) |
+                                    ((nonzero_u64(z2) ^ 1) << 2) |
+                                    ((nonzero_u64(z3) ^ 1) << 3));
+}
+
+#if defined(DELTA_SIMD_SSE2)
+/// Two-lane u64 equality mask (bits 0 and 1) from one unaligned 16 B load.
+/// SSE2 has no 64-bit compare, so equality is two 32-bit compares ANDed
+/// with their swapped halves; the sign bit of each 64-bit lane then carries
+/// the verdict out through movemask_pd.
+inline std::uint32_t match2_sse2(const std::uint64_t* vals, __m128i key2) {
+  const __m128i v =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals));
+  const __m128i eq32 = _mm_cmpeq_epi32(v, key2);
+  const __m128i eq64 =
+      _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(eq64)));
+}
+#endif
+
+#if defined(DELTA_SIMD_NEON)
+/// Two-lane u64 equality mask (bits 0 and 1).
+inline std::uint32_t match2_neon(const std::uint64_t* vals, uint64x2_t key2) {
+  const uint64x2_t eq = vceqq_u64(vld1q_u64(vals), key2);
+  return static_cast<std::uint32_t>(vgetq_lane_u64(eq, 0) & 1) |
+         (static_cast<std::uint32_t>(vgetq_lane_u64(eq, 1) & 1) << 1);
+}
+#endif
+
+}  // namespace detail
+
+/// Equality bitmask over a flat u64 row: bit i set iff vals[i] == key,
+/// i in [0, n), n <= 32.  This is the cache hit path's tag compare — the
+/// hottest kernel in the simulator (mem/cache.hpp match_ways).
+inline std::uint32_t match_u64(const std::uint64_t* vals, int n,
+                               std::uint64_t key) {
+#if defined(DELTA_SIMD_SSE2)
+  const __m128i k = _mm_set1_epi64x(static_cast<long long>(key));
+  std::uint32_t m = 0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m |= detail::match2_sse2(vals + i, k) << i;
+    m |= detail::match2_sse2(vals + i + 2, k) << (i + 2);
+  }
+  if (i + 2 <= n) {
+    m |= detail::match2_sse2(vals + i, k) << i;
+    i += 2;
+  }
+  for (; i < n; ++i) m |= static_cast<std::uint32_t>(vals[i] == key) << i;
+  return m;
+#elif defined(DELTA_SIMD_NEON)
+  const uint64x2_t k = vdupq_n_u64(key);
+  std::uint32_t m = 0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m |= detail::match2_neon(vals + i, k) << i;
+    m |= detail::match2_neon(vals + i + 2, k) << (i + 2);
+  }
+  if (i + 2 <= n) {
+    m |= detail::match2_neon(vals + i, k) << i;
+    i += 2;
+  }
+  for (; i < n; ++i) m |= static_cast<std::uint32_t>(vals[i] == key) << i;
+  return m;
+#elif defined(DELTA_SIMD_SWAR)
+  std::uint32_t m = 0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) m |= detail::match4_swar(vals + i, key) << i;
+  for (; i < n; ++i) m |= static_cast<std::uint32_t>(vals[i] == key) << i;
+  return m;
+#else
+  return match_u64_scalar(vals, n, key);
+#endif
+}
+
+/// Scalar reference for find_u64 (first index of key in [0, n), else n).
+inline std::size_t find_u64_scalar(const std::uint64_t* vals, std::size_t n,
+                                   std::uint64_t key) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (vals[i] == key) return i;
+  return n;
+}
+
+/// First index i in [0, n) with vals[i] == key, or n when absent.  Backs
+/// the UMON shadow-tag stack search (umon/umon.cpp), where stacks run to
+/// hundreds of entries and most probes miss every lane.
+inline std::size_t find_u64(const std::uint64_t* vals, std::size_t n,
+                            std::uint64_t key) {
+#if defined(DELTA_SIMD_SSE2)
+  const __m128i k = _mm_set1_epi64x(static_cast<long long>(key));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint32_t m =
+        detail::match2_sse2(vals + i, k) | (detail::match2_sse2(vals + i + 2, k) << 2) |
+        (detail::match2_sse2(vals + i + 4, k) << 4) |
+        (detail::match2_sse2(vals + i + 6, k) << 6);
+    if (m != 0) {
+      std::size_t j = 0;
+      while (((m >> j) & 1u) == 0) ++j;
+      return i + j;
+    }
+  }
+  for (; i + 2 <= n; i += 2) {
+    const std::uint32_t m = detail::match2_sse2(vals + i, k);
+    if (m != 0) return i + ((m & 1u) != 0 ? 0 : 1);
+  }
+  for (; i < n; ++i)
+    if (vals[i] == key) return i;
+  return n;
+#elif defined(DELTA_SIMD_NEON)
+  const uint64x2_t k = vdupq_n_u64(key);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint64x2_t e0 = vceqq_u64(vld1q_u64(vals + i), k);
+    const uint64x2_t e1 = vceqq_u64(vld1q_u64(vals + i + 2), k);
+    const uint64x2_t e2 = vceqq_u64(vld1q_u64(vals + i + 4), k);
+    const uint64x2_t e3 = vceqq_u64(vld1q_u64(vals + i + 6), k);
+    const uint64x2_t any = vorrq_u64(vorrq_u64(e0, e1), vorrq_u64(e2, e3));
+    if (vmaxvq_u32(vreinterpretq_u32_u64(any)) != 0) {
+      for (std::size_t j = i; j < i + 8; ++j)
+        if (vals[j] == key) return j;
+    }
+  }
+  for (; i < n; ++i)
+    if (vals[i] == key) return i;
+  return n;
+#elif defined(DELTA_SIMD_SWAR)
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint32_t m = detail::match4_swar(vals + i, key);
+    if (m != 0) {
+      std::size_t j = 0;
+      while (((m >> j) & 1u) == 0) ++j;
+      return i + j;
+    }
+  }
+  for (; i < n; ++i)
+    if (vals[i] == key) return i;
+  return n;
+#else
+  return find_u64_scalar(vals, n, key);
+#endif
+}
+
+/// Read-intent prefetch hint; a no-op where unsupported.  Side-effect-free,
+/// so callers (chip access pipelining, UMON) keep byte-identical results.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
+/// Write-intent prefetch hint (LRU stamps, validity words).
+inline void prefetch_write(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 1, 3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace delta::simd

@@ -125,6 +125,7 @@ class Linter {
   std::vector<Finding> run() {
     check_unordered_iteration();
     check_nondeterminism_sources();
+    check_raw_intrinsics();
     check_pointer_keys();
     check_naked_new();
     check_own_header_first();
@@ -233,6 +234,57 @@ class Linter {
     }
   }
 
+  /// Raw SIMD/prefetch intrinsics outside the dispatch layer.  Every
+  /// intrinsic must live in src/common/simd.hpp so the scalar fallback
+  /// (-DDELTA_NO_SIMD) keeps covering the whole codebase and per-ISA code
+  /// never leaks into the engine (docs/performance.md).
+  void check_raw_intrinsics() {
+    if (info_.path_label.find("src/common/simd.hpp") != std::string::npos)
+      return;
+    static constexpr const char* kHeaders[] = {
+        "emmintrin.h", "xmmintrin.h", "pmmintrin.h", "tmmintrin.h",
+        "smmintrin.h", "nmmintrin.h", "wmmintrin.h", "immintrin.h",
+        "x86intrin.h", "arm_neon.h",  "arm_sve.h",
+    };
+    const auto ident_char = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+             (c >= '0' && c <= '9') || c == '_';
+    };
+    for (std::size_t li = 0; li < code_lines_.size(); ++li) {
+      const std::string_view line = code_lines_[li];
+      if (line.find("#include") != std::string_view::npos) {
+        for (const char* h : kHeaders) {
+          if (line.find(h) != std::string_view::npos) {
+            add(static_cast<int>(li), "raw-intrinsic",
+                std::string("intrinsic header <") + h +
+                    "> outside src/common/simd.hpp; add the kernel to the "
+                    "dispatch layer instead");
+            break;
+          }
+        }
+        continue;
+      }
+      // Identifiers starting with `_mm` (_mm_*, _mm256_*, _mm512_*) and
+      // __builtin_prefetch.  NEON names are too generic to prefix-match;
+      // the header ban above covers them.
+      for (const char* prefix : {"_mm", "__builtin_prefetch"}) {
+        const std::string_view pf(prefix);
+        bool hit = false;
+        for (std::size_t pos = line.find(pf); pos != std::string_view::npos;
+             pos = line.find(pf, pos + 1)) {
+          if (pos > 0 && ident_char(line[pos - 1])) continue;  // Mid-token.
+          add(static_cast<int>(li), "raw-intrinsic",
+              std::string(prefix) +
+                  "* intrinsic outside src/common/simd.hpp; call the "
+                  "simd::* dispatch kernels instead");
+          hit = true;
+          break;
+        }
+        if (hit) break;
+      }
+    }
+  }
+
   void check_pointer_keys() {
     for (std::size_t li = 0; li < code_lines_.size(); ++li) {
       const std::string_view line = code_lines_[li];
@@ -333,6 +385,7 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root,
   const bool want_lexical = opts.rules.empty() ||
                             rule_selected(opts, "unordered-iter") ||
                             rule_selected(opts, "nondet-source") ||
+                            rule_selected(opts, "raw-intrinsic") ||
                             rule_selected(opts, "ptr-key") ||
                             rule_selected(opts, "naked-new") ||
                             rule_selected(opts, "own-header-first");

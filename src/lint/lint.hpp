@@ -15,6 +15,12 @@
 //                     self-profiling subsystem whose whole job is reading
 //                     the clock (sim/ code instruments itself through its
 //                     RAII types and never touches a clock directly)
+//   raw-intrinsic     intrinsic headers (<emmintrin.h>, <immintrin.h>,
+//                     <arm_neon.h>, ...), `_mm*` identifiers and
+//                     __builtin_prefetch anywhere but src/common/simd.hpp,
+//                     the single SIMD dispatch layer — per-ISA code outside
+//                     it escapes the -DDELTA_NO_SIMD scalar-equivalence CI
+//                     job and the bit-identity contract it enforces
 //   ptr-key           pointer-keyed ordered containers (std::map<T*, ...>):
 //                     ordered by allocation addresses, i.e. by ASLR
 //   naked-new         naked new/delete — owning raw pointers; use values,
@@ -76,8 +82,9 @@ struct FileInfo {
 std::vector<Finding> lint_text(const FileInfo& info, std::string_view text);
 
 /// Tree-walk options.  `rules` empty == run everything; otherwise only the
-/// named rules are reported.  Known names: the five lexical rules
-/// (unordered-iter, nondet-source, ptr-key, naked-new, own-header-first)
+/// named rules are reported.  Known names: the six lexical rules
+/// (unordered-iter, nondet-source, raw-intrinsic, ptr-key, naked-new,
+/// own-header-first)
 /// plus the semantic rules phase-effect (lint/phase_check.hpp), layering
 /// and include-cycle (lint/layering.hpp).
 struct TreeOptions {

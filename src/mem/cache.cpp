@@ -17,20 +17,13 @@ SetAssocCache::SetAssocCache(std::uint32_t sets, int ways)
   assert(sets >= 1);
 }
 
-AccessResult SetAssocCache::access(std::uint32_t set, BlockAddr block, CoreId owner,
-                                   WayMask insert_mask, CoreId evict_pref) {
+AccessResult SetAssocCache::miss_fill(std::uint32_t set, BlockAddr block, CoreId owner,
+                                      WayMask insert_mask, CoreId evict_pref) {
   assert(set < sets_);
   const std::size_t base = std::size_t{set} * static_cast<std::size_t>(ways_);
   BlockAddr* const blocks = blocks_.data() + base;
   std::uint64_t* const stamps = stamps_.data() + base;
   CoreId* const owners = owners_.data() + base;
-
-  if (const std::uint32_t match = match_ways(set, block); match != 0) {
-    const int i = std::countr_zero(match);
-    stamps[i] = ++clocks_[set];
-    ++stats_.hits;
-    return AccessResult{.hit = true, .way = i};
-  }
 
   ++stats_.misses;
   AccessResult res{};
@@ -45,6 +38,54 @@ AccessResult SetAssocCache::access(std::uint32_t set, BlockAddr block, CoreId ow
   const std::uint32_t free = insert_mask & ~vm & full_mask(ways_);
   if (free != 0) {
     victim = std::countr_zero(free);
+  } else if (evict_pref == kInvalidCore) {
+    const std::uint32_t full = full_mask(ways_);
+    const std::uint32_t m = insert_mask & full;
+    if (m == full && clocks_[set] < (std::uint64_t{1} << 58)) {
+      // Unrestricted LRU over a full set (the thrashing steady state):
+      // pack each candidate into (stamp << 5) | (31 - way) and take the
+      // minimum over four independent accumulator chains — same victim as
+      // the sequential `<=` scan (among equal stamps the smallest inverted
+      // way, i.e. the highest way, wins) at a quarter of the dependency
+      // depth.  The pack is exact while stamps stay below 2^59; the guard
+      // falls back to the plain walk near that boundary (set_clock_for_test
+      // can place clocks arbitrarily).
+      const auto key = [&](int i) {
+        return (stamps[i] << 5) | static_cast<std::uint64_t>(31 - i);
+      };
+      std::uint64_t acc[4] = {key(0),
+                              ways_ > 1 ? key(1) : key(0),
+                              ways_ > 2 ? key(2) : key(0),
+                              ways_ > 3 ? key(3) : key(0)};
+      int i = 4;
+      for (; i + 4 <= ways_; i += 4) {
+        acc[0] = std::min(acc[0], key(i));
+        acc[1] = std::min(acc[1], key(i + 1));
+        acc[2] = std::min(acc[2], key(i + 2));
+        acc[3] = std::min(acc[3], key(i + 3));
+      }
+      for (; i < ways_; ++i) acc[0] = std::min(acc[0], key(i));
+      const std::uint64_t best =
+          std::min(std::min(acc[0], acc[1]), std::min(acc[2], acc[3]));
+      victim = 31 - static_cast<int>(best & 31);
+    } else {
+      // Masked LRU without a victim-owner preference: walk only the set
+      // bits of the mask, ascending — same `<=` tie-break as the general
+      // loop, so among equal stamps the highest eligible way still wins.
+      victim = -1;
+      std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
+      for (std::uint32_t rest = m; rest != 0; rest &= rest - 1) {
+        const int i = std::countr_zero(rest);
+        const bool better = stamps[i] <= best_stamp;
+        best_stamp = better ? stamps[i] : best_stamp;
+        victim = better ? i : victim;
+      }
+      assert(victim >= 0);
+    }
+    res.evicted = true;
+    res.victim_block = blocks[victim];
+    res.victim_owner = owners[victim];
+    ++stats_.evictions;
   } else {
     victim = -1;
     int pref_victim = -1;
@@ -56,8 +97,7 @@ AccessResult SetAssocCache::access(std::uint32_t set, BlockAddr block, CoreId ow
         best_stamp = stamps[i];
         victim = i;
       }
-      if (evict_pref != kInvalidCore && owners[i] == evict_pref &&
-          stamps[i] <= pref_stamp) {
+      if (owners[i] == evict_pref && stamps[i] <= pref_stamp) {
         pref_stamp = stamps[i];
         pref_victim = i;
       }

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 #include "mem/replacement.hpp"
 
@@ -71,8 +72,21 @@ class SetAssocCache {
   /// (PriSM / futility-scaling style): when valid, the victim is the LRU
   /// line *owned by* that core (within the mask); if it holds no line in
   /// the set, selection falls back to plain masked LRU.
+  ///
+  /// The hit path lives here so callers inline the SIMD tag compare plus
+  /// the MRU stamp update; the miss/fill path (miss_fill, cache.cpp) stays
+  /// out of line to keep the inlined code small.
   AccessResult access(std::uint32_t set, BlockAddr block, CoreId owner, WayMask insert_mask,
-                      CoreId evict_pref = kInvalidCore);
+                      CoreId evict_pref = kInvalidCore) {
+    if (const std::uint32_t match = match_ways(set, block); match != 0) {
+      const std::size_t base = std::size_t{set} * static_cast<std::size_t>(ways_);
+      const int i = std::countr_zero(match);
+      stamps_[base + static_cast<std::size_t>(i)] = ++clocks_[set];
+      ++stats_.hits;
+      return AccessResult{.hit = true, .way = i};
+    }
+    return miss_fill(set, block, owner, insert_mask, evict_pref);
+  }
 
   /// Lookup without fill (e.g. remote probe).  Promotes to MRU on hit.
   bool touch(std::uint32_t set, BlockAddr block);
@@ -134,14 +148,31 @@ class SetAssocCache {
     clocks_[set] = value;
   }
 
+  /// Prefetch hint for a set's SoA rows (tags, stamps, owners, validity
+  /// word).  Side-effect-free: the access pipeline in Chip::do_access_batch
+  /// issues this for the mapped set before the mesh/mask computations so
+  /// the tag row is L1-resident by the time access() compares it.
+  void prefetch_set(std::uint32_t set) const {
+    const std::size_t base = std::size_t{set} * static_cast<std::size_t>(ways_);
+    simd::prefetch_read(blocks_.data() + base);
+    simd::prefetch_write(stamps_.data() + base);
+    simd::prefetch_read(owners_.data() + base);
+    simd::prefetch_write(valid_.data() + set);
+  }
+
  private:
+  /// Cold half of access(): miss accounting, victim choice and line fill.
+  AccessResult miss_fill(std::uint32_t set, BlockAddr block, CoreId owner,
+                         WayMask insert_mask, CoreId evict_pref);
+
   /// Bitmask of ways whose valid tag equals `block` (0 or one bit set).
+  /// The tag compare is exact u64 equality, so the vector backends in
+  /// common/simd.hpp return bit-identical masks to the scalar loop
+  /// (-DDELTA_NO_SIMD builds) on every input — verified against the frozen
+  /// legacy oracle by tests/test_sweep.cpp and micro_throughput.
   std::uint32_t match_ways(std::uint32_t set, BlockAddr block) const {
     const BlockAddr* b = blocks_.data() + std::size_t{set} * static_cast<std::size_t>(ways_);
-    std::uint32_t m = 0;
-    for (int i = 0; i < ways_; ++i)
-      m |= static_cast<std::uint32_t>(b[i] == block) << i;
-    return m & valid_[set];
+    return simd::match_u64(b, ways_, block) & valid_[set];
   }
 
   std::uint32_t sets_;

@@ -67,11 +67,25 @@ void Chip::do_access_batch(CoreId c, std::uint64_t count, bool measuring) {
 
   std::uint64_t hits = 0, misses = 0, remote = 0;
 
+  // Two-stage software pipeline: the next access's block is generated (and
+  // its UMON stack prefetched) while the current access still has its mesh
+  // and mask arithmetic ahead, and the mapped set's SoA rows are prefetched
+  // right after map() so the tag row is L1-resident by the time access()
+  // compares it.  Every component call stays in the historical per-access
+  // order — the generator, monitor, scheme and bank each see exactly the
+  // serial sequence, so results are byte-identical; only prefetch hints
+  // (side-effect-free) overlap iterations.
+  BlockAddr next_block = count != 0 ? gen->next() : BlockAddr{0};
   for (std::uint64_t i = 0; i < count; ++i) {
-    const BlockAddr block = gen->next();
+    const BlockAddr block = next_block;
     um->access(block);
 
     const BankTarget t = scheme->map(*this, c, block);
+    bank(t.bank).prefetch_set(t.set);
+    if (i + 1 < count) {
+      next_block = gen->next();
+      um->prefetch(next_block);
+    }
     const int hops = mesh_.hops(c, t.bank);
     Cycles lat = mesh_.round_trip(c, t.bank) + fixed_lat;
     remote += hops > 0 ? 1 : 0;

@@ -39,9 +39,18 @@ void IntraEngine::stage_core(CoreId c) {
   workload::TraceGen* const gen = s.gen.get();
   umon::Umon* const um = s.umon.get();
   const Scheme* const scheme = chip_.scheme_.get();
+  // Same two-stage pipeline as Chip::do_access_batch: generate one access
+  // ahead and prefetch its UMON stack while the current one is mapped and
+  // staged.  Component call order is unchanged, so staging stays
+  // byte-identical to the serial loop.
+  BlockAddr next_block = gen->next();
   for (std::uint64_t i = 0; i < target; ++i) {
-    const BlockAddr block = gen->next();
+    const BlockAddr block = next_block;
     um->access(block);
+    if (i + 1 < target) {
+      next_block = gen->next();
+      um->prefetch(next_block);
+    }
     const BankTarget t = scheme->map(chip_, c, block);
     Staged& a = st.acc[static_cast<std::size_t>(i)];
     a.block = block;
@@ -105,6 +114,9 @@ void IntraEngine::apply_bank(BankId b, obs::prof::EngineProfile::MergeScratch* m
       while (cur < list.size() && list[cur] / kBatch == round) {
         Staged& a = st.acc[list[cur]];
         ++cur;
+        // Pull the next staged access's set rows toward L1 while this one
+        // computes its masks and latency (hint only — no state change).
+        if (cur < list.size()) bank.prefetch_set(st.acc[list[cur]].set);
         const mem::WayMask mask = scheme->insert_mask(chip_, c, b);
         const CoreId evict_pref = scheme->evict_preference(chip_, c, b);
         const mem::AccessResult res = bank.access(a.set, a.block, c, mask, evict_pref);

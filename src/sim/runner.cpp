@@ -8,6 +8,7 @@
 
 #include "common/parallel.hpp"
 #include "obs/prof/prof.hpp"
+#include "workload/irregular.hpp"
 #include "workload/spec.hpp"
 #include "workload/splash.hpp"
 
@@ -64,6 +65,7 @@ std::vector<MixResult> run_sweep(const std::vector<SweepJob>& jobs, unsigned thr
   // function-local statics would otherwise be constructed under the init
   // guard inside the pool, serialising the first wave of workers.
   (void)workload::spec_profiles();
+  (void)workload::irregular_profiles();
   (void)workload::splash_profiles();
   const std::vector<SweepJob> resolved = split_intra_budget(jobs, threads);
   std::vector<MixResult> out(resolved.size());
@@ -83,6 +85,7 @@ std::vector<MixResult> run_sweep_observed(const std::vector<SweepJob>& jobs,
                                           unsigned threads) {
   assert(observers.size() == jobs.size());
   (void)workload::spec_profiles();
+  (void)workload::irregular_profiles();
   (void)workload::splash_profiles();
   const std::vector<SweepJob> resolved = split_intra_budget(jobs, threads);
   std::vector<MixResult> out(resolved.size());

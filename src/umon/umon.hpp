@@ -38,6 +38,11 @@ class Umon {
   /// unmonitored blocks (one mask test).
   void access(BlockAddr block);
 
+  /// Prefetch hint for the shadow-tag stack `block` would probe (no-op for
+  /// unmonitored blocks).  Side-effect-free; issued by the chip's access
+  /// pipeline one access ahead so the stack search hits warm lines.
+  void prefetch(BlockAddr block) const;
+
   /// Scaled access/miss totals (sampled counts multiplied by dilution).
   double accesses() const { return scale(sampled_accesses_); }
   double misses_at_max() const { return scale(sampled_misses_); }

@@ -1,5 +1,7 @@
 #include "workload/generator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace delta::workload {
@@ -79,6 +81,55 @@ BlockAddr TraceGen::next() {
       const BlockAddr b = rs.base_block + rs.pos;
       if (++rs.pos == rs.lines) rs.pos = 0;
       return b;
+    }
+    case RingKind::kGather: {
+      // Gather/scatter: one sequential index-array line feeds eight
+      // permuted data touches (a 64 B line holds eight u64 indices; the
+      // index stream is hardware-prefetch-friendly in real kernels, so it
+      // is modelled compact).  Data lines come from a per-sweep affine
+      // bijection over the region — a *permutation*, not draws with
+      // replacement, so reuse distance equals the region size and the
+      // ring's miss curve is flat below it (no short-distance collisions
+      // an LRU cache could exploit).
+      const std::uint64_t mask = std::bit_floor(rs.lines) - 1;
+      const std::uint64_t idx_lines =
+          std::clamp<std::uint64_t>(rs.lines / 16, 1, 128);
+      const std::uint64_t step = rs.pos;
+      if (++rs.pos >= 8 * rs.lines) {
+        rs.pos = 0;
+        ++rs.salt;  // Fresh gather permutation each full sweep.
+      }
+      if ((step & 7) == 0) return rs.base_block + (step >> 3) % idx_lines;
+      const std::uint64_t a = mix64(rs.salt ^ 0x517cc1b727220a95ULL) | 1;
+      const std::uint64_t c = mix64(rs.salt + 0x2545f4914f6cdd1dULL);
+      return rs.base_block + ((step * a + c) & mask);
+    }
+    case RingKind::kHashJoin: {
+      // Hash-join build/probe: each pass visits every bucket exactly once
+      // in a salted pseudo-random order (odd multiplier => the affine map
+      // is a bijection on the power-of-two bucket range).  Re-salting per
+      // pass makes build and successive probe passes fresh orders while
+      // keeping the reuse distance pinned at the table size: a flat miss
+      // curve below the table, like real hash joins.
+      const std::uint64_t mask = std::bit_floor(rs.lines) - 1;
+      const std::uint64_t a = mix64(rs.salt ^ 0x517cc1b727220a95ULL) | 1;
+      const std::uint64_t c = mix64(rs.salt + 0x2545f4914f6cdd1dULL);
+      const BlockAddr b = rs.base_block + ((rs.pos * a + c) & mask);
+      if (++rs.pos >= mask + 1) {
+        rs.pos = 0;
+        ++rs.salt;  // Next pass: a new build/probe order.
+      }
+      return b;
+    }
+    case RingKind::kWalk: {
+      // Graph traversal: a full-period LCG walk over node ids (a = 1 mod
+      // 4, c odd => full period on the power-of-two range), scrambled by
+      // an odd-multiplier bijection so successive nodes share no spatial
+      // structure.  Every node is visited once per period: pointer chasing
+      // with reuse distance = the graph size, flat below it.
+      const std::uint64_t mask = std::bit_floor(rs.lines) - 1;
+      rs.pos = (rs.pos * 6364136223846793005ULL + 1442695040888963407ULL) & mask;
+      return rs.base_block + ((rs.pos * 0x9e3779b97f4a7c15ULL) & mask);
     }
   }
   return rs.base_block;

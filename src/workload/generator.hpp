@@ -33,7 +33,8 @@ class TraceGen {
   struct RingState {
     BlockAddr base_block = 0;
     std::uint64_t lines = 0;
-    std::uint64_t pos = 0;  ///< Loop/stream cursor.
+    std::uint64_t pos = 0;   ///< Loop/stream/walk cursor.
+    std::uint64_t salt = 0;  ///< Hash salt; bumped per pass (kHashJoin).
   };
   struct PhaseState {
     std::vector<RingState> rings;

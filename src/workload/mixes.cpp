@@ -51,6 +51,22 @@ std::vector<Mix> build() {
   return v;
 }
 
+// Irregular-access mixes (not from Table IV): the flat-curve kernels from
+// workload/irregular.hpp alone and against the cache-sensitive and
+// streaming SPEC stand-ins.  wi1 asks "does the allocator waste ways when
+// *nothing* can use them"; wi2/wi3 ask "does it keep feeding the sensitive
+// co-runners while the irregular kernels absorb nothing".
+std::vector<Mix> build_irregular() {
+  std::vector<Mix> v;
+  v.push_back(mix("wi1", "irregular",
+      {"sv", "hj", "bf", "pr", "gw", "sv", "hj", "bf", "pr", "gw", "sv", "hj", "bf", "pr", "gw", "sv"}));
+  v.push_back(mix("wi2", "irregular+LM",
+      {"sv", "hj", "bf", "pr", "de", "om", "xa", "so", "go", "bz", "gc", "mc", "pe", "sp", "gw", "hj"}));
+  v.push_back(mix("wi3", "irregular+I+T+L",
+      {"sv", "hj", "bf", "pr", "gw", "bw", "li", "mi", "po", "sj", "na", "gr", "as", "to", "hm", "h2"}));
+  return v;
+}
+
 }  // namespace
 
 const std::vector<Mix>& table4_mixes() {
@@ -58,8 +74,15 @@ const std::vector<Mix>& table4_mixes() {
   return mixes;
 }
 
+const std::vector<Mix>& irregular_mixes() {
+  static const std::vector<Mix> mixes = build_irregular();
+  return mixes;
+}
+
 const Mix& table4_mix(const std::string& name) {
   for (const auto& m : table4_mixes())
+    if (m.name == name) return m;
+  for (const auto& m : irregular_mixes())
     if (m.name == name) return m;
   throw std::out_of_range("unknown mix: " + name);
 }

@@ -23,7 +23,14 @@ struct Mix {
 /// All 15 mixes, each with exactly 16 application instances.
 const std::vector<Mix>& table4_mixes();
 
-/// Lookup by name ("w2"); throws std::out_of_range on unknown names.
+/// Irregular-access mixes ("wi1".."wi3"): the flat-miss-curve kernel family
+/// (workload/irregular.hpp) alone and combined with Table III applications.
+/// Same 16-apps shape as the Table IV mixes, so every harness that takes a
+/// mix name runs them unchanged.
+const std::vector<Mix>& irregular_mixes();
+
+/// Lookup by name ("w2", "wi1"); resolves Table IV and irregular mixes;
+/// throws std::out_of_range on unknown names.
 const Mix& table4_mix(const std::string& name);
 
 /// 64-core variant: the 16-core mix replicated four times (Sec. III-B),

@@ -17,6 +17,20 @@
 //     windowed gain does not.
 //   * kStream  — ever-advancing stream, no reuse at cacheable distances
 //     (thrashing applications: bwaves, libquantum, milc).
+//
+// The irregular-access family (workload/irregular.hpp) adds three kinds
+// whose reuse distances sit near the region size — within any allocatable
+// capacity their miss curves are *flat* (no cliff, no slope for an
+// allocator to climb):
+//   * kGather   — gather/scatter: even steps sweep a compact index array
+//     sequentially, odd steps touch hash-scattered lines of the data
+//     region (sparse matrix / column-gather kernels).
+//   * kHashJoin — hashed one-pass sweeps over a table region; each wrap
+//     re-salts the hash, so build and successive probe passes visit the
+//     buckets in fresh pseudo-random orders.
+//   * kWalk     — graph traversal: a full-period affine walk over node
+//     ids, each id scattered through a hash into the region (pointer
+//     chasing with no spatial locality).
 #pragma once
 
 #include <cstdint>
@@ -27,7 +41,14 @@
 
 namespace delta::workload {
 
-enum class RingKind : std::uint8_t { kUniform, kLoop, kStream };
+enum class RingKind : std::uint8_t {
+  kUniform,
+  kLoop,
+  kStream,
+  kGather,
+  kHashJoin,
+  kWalk,
+};
 
 /// Table III sensitivity classes.
 enum class AppClass : std::uint8_t {

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "workload/irregular.hpp"
+
 namespace delta::workload {
 namespace {
 
@@ -174,13 +176,18 @@ std::vector<AppProfile> build_profiles() {
   return v;
 }
 
-const std::unordered_map<std::string_view, std::size_t>& index() {
-  static const std::unordered_map<std::string_view, std::size_t> map = [] {
-    std::unordered_map<std::string_view, std::size_t> m;
-    const auto& ps = spec_profiles();
-    for (std::size_t i = 0; i < ps.size(); ++i) {
-      m[ps[i].name] = i;
-      m[ps[i].short_name] = i;
+// Combined name index over every AppProfile family: the Table III stand-ins
+// and the irregular-access kernels resolve through the same lookup, so the
+// simulator core, mixes, delta_sim --apps and the fuzz pool need no
+// per-family dispatch.
+const std::unordered_map<std::string_view, const AppProfile*>& index() {
+  static const std::unordered_map<std::string_view, const AppProfile*> map = [] {
+    std::unordered_map<std::string_view, const AppProfile*> m;
+    for (const auto* family : {&spec_profiles(), &irregular_profiles()}) {
+      for (const AppProfile& p : *family) {
+        m[p.name] = &p;
+        m[p.short_name] = &p;
+      }
     }
     return m;
   }();
@@ -197,8 +204,8 @@ const std::vector<AppProfile>& spec_profiles() {
 const AppProfile& spec_profile(std::string_view name) {
   const auto& idx = index();
   auto it = idx.find(name);
-  if (it == idx.end()) throw std::out_of_range("unknown SPEC profile: " + std::string(name));
-  return spec_profiles()[it->second];
+  if (it == idx.end()) throw std::out_of_range("unknown app profile: " + std::string(name));
+  return *it->second;
 }
 
 bool has_spec_profile(std::string_view name) { return index().contains(name); }

@@ -27,10 +27,12 @@ namespace delta::workload {
 const std::vector<AppProfile>& spec_profiles();
 
 /// Lookup by short code ("xa") or full name ("xalancbmk"); throws
-/// std::out_of_range on unknown names.
+/// std::out_of_range on unknown names.  Resolves every AppProfile family —
+/// the Table III stand-ins and the irregular-access kernels
+/// (workload/irregular.hpp) share this index.
 const AppProfile& spec_profile(std::string_view name);
 
-/// True if `name` resolves to a profile.
+/// True if `name` resolves to a profile (any family).
 bool has_spec_profile(std::string_view name);
 
 }  // namespace delta::workload

@@ -47,6 +47,38 @@ TEST(Classify, InsensitiveAppsHaveLowMpki) {
   }
 }
 
+// The irregular family must classify by MPKI alone: flat curves give <10%
+// IPC improvement at both classification points, so nothing lands in L/LM.
+class ClassifyIrregular : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ClassifyIrregular, MatchesDeclaredClass) {
+  const AppProfile& p = spec_profile(GetParam());
+  const ClassifyResult r = classify(p);
+  EXPECT_EQ(to_string(r.cls), to_string(p.cls))
+      << p.name << ": ipc(128K)=" << r.ipc_128k << " ipc(512K)=" << r.ipc_512k
+      << " ipc(8M)=" << r.ipc_8m << " low=" << r.improvement_low
+      << " med=" << r.improvement_med << " mpki@8M=" << r.mpki_8m;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIrregular, ClassifyIrregular,
+                         ::testing::Values("sv", "hj", "bf", "pr", "gw"),
+                         [](const auto& inf) { return std::string(inf.param); });
+
+TEST(ClassifyIrregular, MissCurvesAreFlatAcrossTheClassificationWindow) {
+  // The defining property of the family: capacity buys (almost) nothing
+  // between 128 KB and 8 MB.  The hot frontier/accumulator rings (up to
+  // 30% of accesses) become resident somewhere in the window, so allow
+  // their weight; the cliff apps (xa, so) move >30 points over the same
+  // span and the sensitive ladder apps keep gaining past every point.
+  for (const char* name : {"sv", "hj", "bf", "pr", "gw"}) {
+    const AppProfile& p = spec_profile(name);
+    const double m128k = standalone_miss_rate(p, 128 * kKiB);
+    const double m8m = standalone_miss_rate(p, 8 * kMiB);
+    EXPECT_LT(m128k - m8m, 0.20) << name << " m128k=" << m128k << " m8m=" << m8m;
+    EXPECT_GT(m8m, 0.30) << name << ": an irregular kernel misses a lot everywhere";
+  }
+}
+
 TEST(Classify, CliffAppsShowLittleGainInSmallWindows) {
   // xalancbmk's loop gives almost no miss reduction between 512 KB and
   // 1 MB (the cliff sits at ~1.75 MB) — the farsighted/nearsighted wedge.

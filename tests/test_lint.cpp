@@ -122,6 +122,53 @@ TEST(LintNondetSource, Suppression) {
   EXPECT_FALSE(has_rule(fs, "nondet-source"));
 }
 
+// ---------------------------------------------------------------- raw-intrinsic
+
+TEST(LintRawIntrinsic, FlagsIntrinsicHeaders) {
+  const auto fs = lint(
+      "#include <emmintrin.h>\n"
+      "#include <arm_neon.h>\n");
+  EXPECT_EQ(count_rule(fs, "raw-intrinsic"), 2);
+}
+
+TEST(LintRawIntrinsic, FlagsMmIdentifiersAndBuiltinPrefetch) {
+  const auto fs = lint(
+      "void f(const void* p) {\n"
+      "  __builtin_prefetch(p, 0, 3);\n"
+      "  auto v = _mm_set1_epi64x(1);\n"
+      "  auto w = _mm256_setzero_si256();\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "raw-intrinsic"), 3);
+}
+
+TEST(LintRawIntrinsic, DispatchLayerIsExempt) {
+  FileInfo info;
+  info.path_label = "src/common/simd.hpp";
+  const auto fs = lint_text(info,
+                            "#include <emmintrin.h>\n"
+                            "auto v = _mm_set1_epi64x(1);\n");
+  EXPECT_FALSE(has_rule(fs, "raw-intrinsic"));
+}
+
+TEST(LintRawIntrinsic, WrapperCallsAndMidTokenMatchesAreClean) {
+  const auto fs = lint(
+      "#include \"common/simd.hpp\"\n"
+      "void f(const std::uint64_t* v) {\n"
+      "  simd::prefetch_read(v);\n"
+      "  auto m = simd::match_u64(v, 16, 3);\n"
+      "  int comm_mm = 0;\n"       // `_mm` mid-identifier: not a token start.
+      "}\n");
+  EXPECT_FALSE(has_rule(fs, "raw-intrinsic"));
+}
+
+TEST(LintRawIntrinsic, SuppressionWaives) {
+  const auto fs = lint(
+      "void f(const void* p) {\n"
+      "  __builtin_prefetch(p);  // delta-lint: allow(raw-intrinsic)\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(fs, "raw-intrinsic"));
+}
+
 // ---------------------------------------------------------------- ptr-key
 
 TEST(LintPtrKey, FlagsPointerKeyedMapAndSet) {

@@ -5,13 +5,20 @@
 #include <algorithm>
 #include <vector>
 
+#include <cmath>
+
 #include "alloc/auction.hpp"
+#include "alloc/fairshare.hpp"
 #include "common/rng.hpp"
+#include "core/pain_gain.hpp"
 #include "core/way_partition.hpp"
 #include "mem/address.hpp"
 #include "noc/traffic.hpp"
 #include "sim/chip.hpp"
 #include "sim/runner.hpp"
+#include "umon/umon.hpp"
+#include "workload/generator.hpp"
+#include "workload/spec.hpp"
 
 namespace delta::sim {
 namespace {
@@ -252,6 +259,85 @@ TEST(DeltaSchemeProps, BankOwnershipAlwaysPartitionsEveryBank) {
       EXPECT_EQ(all, mem::full_mask(16)) << "bank " << bank << " has orphan ways";
     }
   }
+}
+
+// ---- Flat miss-curve properties (the irregular-access family) ----
+//
+// A UMON watching a gather/hash-join/graph-walk kernel reports a curve
+// with no cliff and almost no slope.  The allocator maths must degrade
+// gracefully on such curves: Eq. 1/2 stay finite at every MLP and holding,
+// the windowed gain correctly reads ~nothing (so DELTA never chases the
+// kernel), and LFOC's clustering sends the application to a non-sensitive
+// cluster instead of letting a near-zero CPI delta blow up a ratio.
+
+umon::Umon umon_fed_by(const char* app, std::uint64_t accesses) {
+  // The simulator's monitor geometry (umon.hpp defaults): 512-set slices,
+  // 192 tracked ways, 1-in-16 set sampling — the same view DELTA's
+  // controller allocates from.
+  umon::Umon u{umon::UmonConfig{}};
+  workload::TraceGen gen(workload::spec_profile(app), /*base_addr=*/0, /*seed=*/17);
+  for (std::uint64_t i = 0; i < accesses; ++i) u.access(gen.next());
+  return u;
+}
+
+TEST(FlatCurveProps, PainGainFiniteAndBelowThresholdOnIrregularKernels) {
+  for (const char* app : {"sv", "hj", "bf", "pr", "gw"}) {
+    const umon::Umon u = umon_fed_by(app, 400'000);
+    // Sweep the risky denominators: tiny and huge MLP, every holding from
+    // 4 ways up to the monitor's limit, remote holdings included.
+    for (const double mlp : {0.1, 1.0, 4.0, 32.0}) {
+      for (int cur = 4; cur <= 192; cur += 31) {
+        const core::PainGain pg =
+            core::compute_pain_gain(u, cur, cur / 2, 4, 4, mlp);
+        ASSERT_TRUE(std::isfinite(pg.raw_gain)) << app << " mlp=" << mlp;
+        ASSERT_TRUE(std::isfinite(pg.pain)) << app << " mlp=" << mlp;
+        ASSERT_GE(pg.raw_gain, 0.0);
+        ASSERT_GE(pg.pain, 0.0);
+      }
+    }
+    // At nominal MLP the windowed gain reads the flat part of the curve as
+    // not worth chasing: below the Table II gainThreshold.  The shallow
+    // holdings are excluded deliberately — there the irregular traffic
+    // dilutes the hot frontier/accumulator rings to deep stack positions,
+    // so a small genuine gain exists; past ~2 MB (64 ways) nothing does.
+    for (int cur = 72; cur <= 188; cur += 29) {
+      const core::PainGain pg = core::compute_pain_gain(u, cur, 0, 4, 4, 2.0);
+      EXPECT_LT(pg.raw_gain, 0.5)
+          << app << ": flat curve reports a chaseable gain at " << cur << " ways";
+    }
+  }
+}
+
+TEST(FlatCurveProps, LfocClassifiesIrregularKernelsAsNonSensitive) {
+  for (const char* app : {"sv", "hj", "bf", "pr", "gw"}) {
+    const umon::Umon u = umon_fed_by(app, 400'000);
+    const alloc::FairShareConfig fcfg;
+    const alloc::CurveClass c = alloc::classify_curve(
+        u.miss_curve(), static_cast<double>(u.sampled_accesses()), fcfg);
+    EXPECT_NE(c, alloc::CurveClass::kSensitive) << app;
+  }
+  // The high-pressure kernels land in the thrashing cluster (they keep
+  // missing at full capacity), so LFOC isolates rather than feeds them.
+  const umon::Umon pr = umon_fed_by("pr", 400'000);
+  EXPECT_EQ(alloc::classify_curve(pr.miss_curve(),
+                                  static_cast<double>(pr.sampled_accesses()),
+                                  alloc::FairShareConfig{}),
+            alloc::CurveClass::kThrashing);
+}
+
+TEST(FlatCurveProps, ClassifierDegradesGracefullyOnDegenerateCurves) {
+  const alloc::FairShareConfig fcfg;
+  // A literally flat curve (every capacity misses equally) with modest
+  // pressure: streaming cluster, no division blow-up on the zero CPI gap.
+  umon::MissCurve flat(std::vector<double>(17, 100.0));
+  EXPECT_EQ(alloc::classify_curve(flat, 10'000.0, fcfg),
+            alloc::CurveClass::kStreaming);
+  // The same shape under heavy pressure is thrashing, not sensitive.
+  umon::MissCurve hot(std::vector<double>(17, 9'000.0));
+  EXPECT_EQ(alloc::classify_curve(hot, 10'000.0, fcfg),
+            alloc::CurveClass::kThrashing);
+  // Zero sampling window: defined result (streaming), not NaN propagation.
+  EXPECT_EQ(alloc::classify_curve(flat, 0.0, fcfg), alloc::CurveClass::kStreaming);
 }
 
 TEST(DeltaSchemeProps, CbtTargetsOnlyBanksWithOwnedWays) {

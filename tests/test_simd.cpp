@@ -1,0 +1,173 @@
+// The SIMD kernels (common/simd.hpp) promise bit-identity with their scalar
+// references on every input — that is what lets the cache/UMON hot paths use
+// them without perturbing the oracle replays.  These tests sweep widths,
+// alignments, duplicate keys, and adversarial near-miss patterns against the
+// references.  They run under every backend: the regular build compiles the
+// native backend (SSE2/NEON/SWAR) and the CI scalar job (-DDELTA_NO_SIMD=ON)
+// re-runs the same suite over the fallback.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+
+namespace delta::simd {
+namespace {
+
+// A value that differs from `key` only in one 32-bit half — SSE2 builds
+// 64-bit equality from two 32-bit compares, so half-matches are the
+// interesting wrong-answer candidates.
+std::uint64_t flip_half(std::uint64_t key, bool high) {
+  return key ^ (high ? 0xdead0000'00000000ULL : 0x0000'0000'0000beefULL);
+}
+
+TEST(MatchU64, AllWidthsSingleKeyAtEveryPosition) {
+  for (int n = 0; n <= 32; ++n) {
+    std::array<std::uint64_t, 32> vals{};
+    const std::uint64_t key = 0x0123456789abcdefULL;
+    for (int i = 0; i < n; ++i) vals[i] = 0x1111111111111111ULL * (i + 1);
+    for (int pos = 0; pos < n; ++pos) {
+      const std::uint64_t saved = vals[pos];
+      vals[pos] = key;
+      const std::uint32_t ref = match_u64_scalar(vals.data(), n, key);
+      EXPECT_EQ(match_u64(vals.data(), n, key), ref)
+          << "n=" << n << " pos=" << pos;
+      EXPECT_EQ(ref, std::uint32_t{1} << pos);
+      vals[pos] = saved;
+    }
+    // Absent key: no bit may be set.
+    EXPECT_EQ(match_u64(vals.data(), n, key), 0u) << "n=" << n;
+  }
+}
+
+TEST(MatchU64, DuplicateKeysSetEveryMatchingBit) {
+  std::array<std::uint64_t, 32> vals{};
+  const std::uint64_t key = 0xfeedface'cafef00dULL;
+  for (int i = 0; i < 32; ++i) vals[i] = (i % 3 == 0) ? key : ~key;
+  for (int n = 0; n <= 32; ++n) {
+    const std::uint32_t ref = match_u64_scalar(vals.data(), n, key);
+    EXPECT_EQ(match_u64(vals.data(), n, key), ref) << "n=" << n;
+  }
+}
+
+TEST(MatchU64, HalfWordNearMissesDoNotMatch) {
+  const std::uint64_t key = 0x0123456789abcdefULL;
+  std::array<std::uint64_t, 32> vals{};
+  for (int i = 0; i < 32; ++i) vals[i] = flip_half(key, i % 2 == 0);
+  for (int n : {1, 2, 3, 4, 7, 8, 16, 31, 32}) {
+    EXPECT_EQ(match_u64(vals.data(), n, key), 0u) << "n=" << n;
+    EXPECT_EQ(match_u64_scalar(vals.data(), n, key), 0u) << "n=" << n;
+  }
+}
+
+TEST(MatchU64, ExtremeValues) {
+  std::array<std::uint64_t, 8> vals = {0,
+                                       ~0ULL,
+                                       1,
+                                       0x8000000000000000ULL,
+                                       0x7fffffffffffffffULL,
+                                       0xffffffff00000000ULL,
+                                       0x00000000ffffffffULL,
+                                       0x5555555555555555ULL};
+  for (std::uint64_t key : vals) {
+    const std::uint32_t ref = match_u64_scalar(vals.data(), 8, key);
+    EXPECT_EQ(match_u64(vals.data(), 8, key), ref) << "key=" << key;
+  }
+}
+
+TEST(MatchU64, RandomizedAgainstScalar) {
+  Rng rng(0x51u);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const int n = static_cast<int>(rng.below(33));  // 0..32
+    std::array<std::uint64_t, 32> vals{};
+    // Draw from a tiny value pool so matches and duplicates are common.
+    std::array<std::uint64_t, 4> pool = {rng(), rng(),
+                                         rng() & 0xffff, 0};
+    for (int i = 0; i < n; ++i) vals[i] = pool[rng.below(4)];
+    const std::uint64_t key = pool[rng.below(4)];
+    EXPECT_EQ(match_u64(vals.data(), n, key),
+              match_u64_scalar(vals.data(), n, key))
+        << "iter=" << iter << " n=" << n;
+  }
+}
+
+TEST(MatchU64, UnalignedBasePointer) {
+  // The cache rows are not 16 B aligned in general; every offset must work.
+  std::array<std::uint64_t, 40> vals{};
+  const std::uint64_t key = 0xabcdef0123456789ULL;
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i;
+  vals[19] = key;
+  for (std::size_t off = 0; off + 16 <= vals.size(); ++off) {
+    const std::uint32_t ref = match_u64_scalar(vals.data() + off, 16, key);
+    EXPECT_EQ(match_u64(vals.data() + off, 16, key), ref) << "off=" << off;
+  }
+}
+
+TEST(FindU64, FirstIndexAtEveryPositionAndWidth) {
+  const std::uint64_t key = 0x00c0ffee'00c0ffeeULL;
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{3}, std::size_t{7}, std::size_t{8},
+                        std::size_t{9}, std::size_t{15}, std::size_t{16},
+                        std::size_t{63}, std::size_t{64}, std::size_t{192},
+                        std::size_t{193}}) {
+    std::vector<std::uint64_t> vals(n);
+    for (std::size_t i = 0; i < n; ++i) vals[i] = ~static_cast<std::uint64_t>(i);
+    // Absent.
+    EXPECT_EQ(find_u64(vals.data(), n, key), n) << "n=" << n;
+    EXPECT_EQ(find_u64_scalar(vals.data(), n, key), n) << "n=" << n;
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const std::uint64_t saved = vals[pos];
+      vals[pos] = key;
+      EXPECT_EQ(find_u64(vals.data(), n, key), pos) << "n=" << n;
+      vals[pos] = saved;
+    }
+  }
+}
+
+TEST(FindU64, ReturnsFirstOfDuplicates) {
+  std::vector<std::uint64_t> vals(100, 7ULL);
+  for (std::size_t first : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                            std::size_t{8}, std::size_t{42}, std::size_t{99}}) {
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      vals[i] = i >= first ? 7ULL : 9ULL;
+    EXPECT_EQ(find_u64(vals.data(), vals.size(), 7ULL), first);
+  }
+}
+
+TEST(FindU64, RandomizedAgainstScalar) {
+  Rng rng(0xf1u);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::size_t n = rng.below(300);
+    std::vector<std::uint64_t> vals(n);
+    std::array<std::uint64_t, 4> pool = {rng(), rng(),
+                                         rng() & 0xff, ~0ULL};
+    for (std::size_t i = 0; i < n; ++i) vals[i] = pool[rng.below(4)];
+    const std::uint64_t key = pool[rng.below(4)];
+    EXPECT_EQ(find_u64(vals.data(), n, key), find_u64_scalar(vals.data(), n, key))
+        << "iter=" << iter << " n=" << n;
+  }
+}
+
+TEST(Prefetch, HintsAreSideEffectFree) {
+  // Smoke: hints must accept any address, including null, without faulting
+  // or touching data.
+  std::uint64_t x = 41;
+  prefetch_read(&x);
+  prefetch_write(&x);
+  prefetch_read(nullptr);
+  EXPECT_EQ(x, 41u);
+}
+
+TEST(Backend, NameIsKnown) {
+  const std::string b = backend_name();
+  EXPECT_TRUE(b == "sse2" || b == "neon" || b == "swar" || b == "scalar") << b;
+#if defined(DELTA_NO_SIMD)
+  EXPECT_EQ(b, "scalar");
+#endif
+}
+
+}  // namespace
+}  // namespace delta::simd

@@ -7,6 +7,12 @@ Only machine-independent numbers are gated:
   * cache_kernel.*.new_over_legacy — both engines ran on the same host in
     the same process, so the ratio transfers across machines.  The fresh
     ratio must stay above `slack` times the reference ratio.
+  * cache_kernel.replay_identical — the SoA engine replayed the streams
+    bit-identically against the frozen legacy oracle; binary, every host.
+  * simd.*.simd_over_scalar — same-process ratio like the cache kernel,
+    but gated only when the fresh run compiled the same backend as the
+    reference (a -DDELTA_NO_SIMD or cross-ISA run measures a different
+    kernel; its ~1.0x ratio is printed, not failed).
   * sweep.byte_identical / intra.byte_identical — determinism is binary
     and must hold on every host.
   * schema — a fresh run on an older schema means the harness and the
@@ -96,6 +102,47 @@ def main():
             failures.append(f"cache_kernel.{stream} ratio {n:.2f}x below "
                             f"floor {floor:.2f}x ({args.slack} * {r:.2f}x)")
 
+    # v4+: the oracle replay inside the kernel harness is binary.  (v3 files
+    # predate the key; the exact-version check above already pairs them only
+    # with other v3 files.)
+    if new_v >= 4:
+        replay = new.get("cache_kernel", {}).get("replay_identical")
+        print(f"cache_kernel.replay_identical: {replay}")
+        if replay is not True:
+            failures.append(
+                f"cache_kernel.replay_identical is {replay!r}, not true")
+
+    # v4: per-kernel SIMD-over-scalar ratios.  Ratio-only and gated only
+    # when both files measured the same compiled backend; anything else
+    # about the section (unknown kernels, missing keys in the reference)
+    # prints informationally instead of failing.
+    ref_simd = ref.get("simd", {}) if isinstance(ref.get("simd"), dict) else {}
+    new_simd = new.get("simd", {}) if isinstance(new.get("simd"), dict) else {}
+    same_backend = (ref_simd.get("backend") is not None and
+                    ref_simd.get("backend") == new_simd.get("backend"))
+    for kernel, v in new_simd.items():
+        if not isinstance(v, dict):
+            continue
+        n = v.get("simd_over_scalar")
+        if not isinstance(n, (int, float)):
+            continue
+        rv = ref_simd.get(kernel)
+        r = rv.get("simd_over_scalar") if isinstance(rv, dict) else None
+        if same_backend and isinstance(r, (int, float)):
+            floor = args.slack * r
+            verdict = "ok" if n >= floor else "FAIL"
+            print(f"simd.{kernel} [{new_simd.get('backend')}]: reference "
+                  f"{r:.2f}x, fresh {n:.2f}x, floor {floor:.2f}x -> {verdict}")
+            if n < floor:
+                failures.append(f"simd.{kernel} ratio {n:.2f}x below floor "
+                                f"{floor:.2f}x ({args.slack} * {r:.2f}x)")
+        else:
+            why = ("backend differs: reference "
+                   f"{ref_simd.get('backend')!r} vs fresh "
+                   f"{new_simd.get('backend')!r}" if not same_backend
+                   else "not in reference")
+            print(f"simd.{kernel}: {n:.2f}x over scalar (not gated; {why})")
+
     for section in ("sweep", "intra"):
         ident = new.get(section, {}).get("byte_identical")
         print(f"{section}.byte_identical: {ident}")
@@ -127,6 +174,10 @@ def main():
         print(f"intra --intra-jobs {p.get('intra_jobs')}: "
               f"{p.get('speedup_vs_serial', 0):.2f}x vs serial (not gated; "
               f"hw_threads={new.get('hw_threads')})")
+    irr = new.get("irregular")
+    if isinstance(irr, dict):
+        print(f"irregular ({irr.get('mix')}, {irr.get('scheme')}): "
+              f"{irr.get('accesses_per_sec', 0):.3g} acc/s (not gated)")
     prof = new.get("prof")
     if isinstance(prof, dict):
         phases = prof.get("phase_ms", {})

@@ -26,6 +26,8 @@
 #include "obs/prof/export.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
+#include "workload/irregular.hpp"
+#include "workload/mixes.hpp"
 #include "workload/spec.hpp"
 
 namespace {
@@ -37,8 +39,18 @@ void list_everything() {
   for (const auto& p : workload::spec_profiles())
     std::printf("  %-4s %-12s class %-2s\n", p.short_name.c_str(), p.name.c_str(),
                 to_string(p.cls).c_str());
+  std::printf("\napplications (irregular family):\n");
+  for (const auto& p : workload::irregular_profiles())
+    std::printf("  %-4s %-12s class %-2s\n", p.short_name.c_str(), p.name.c_str(),
+                to_string(p.cls).c_str());
   std::printf("\nmixes (Table IV):\n");
   for (const auto& m : workload::table4_mixes()) {
+    std::printf("  %-4s (%s): ", m.name.c_str(), m.composition.c_str());
+    for (const auto& a : m.apps) std::printf("%s ", a.c_str());
+    std::printf("\n");
+  }
+  std::printf("\nmixes (irregular):\n");
+  for (const auto& m : workload::irregular_mixes()) {
     std::printf("  %-4s (%s): ", m.name.c_str(), m.composition.c_str());
     for (const auto& a : m.apps) std::printf("%s ", a.c_str());
     std::printf("\n");

@@ -19,14 +19,22 @@ import unittest
 TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_diff.py")
 
 
-def doc(schema="delta-bench-throughput-v3", hit=2.0, thrash=1.5,
-        simulator=None):
+def doc(schema="delta-bench-throughput-v4", hit=2.0, thrash=1.5,
+        simulator=None, backend="sse2", match=3.0, find=2.0):
     return {
         "schema": schema,
         "cache_kernel": {
+            "replay_identical": True,
             "hit_heavy": {"new_over_legacy": hit},
             "thrashing": {"new_over_legacy": thrash},
         },
+        "simd": {
+            "backend": backend,
+            "match_u64": {"simd_over_scalar": match},
+            "find_u64": {"simd_over_scalar": find},
+        },
+        "irregular": {"mix": "wi1", "scheme": "delta",
+                      "accesses_per_sec": 5e5},
         "sweep": {"byte_identical": True},
         "intra": {"byte_identical": True, "points": []},
         "simulator": simulator if simulator is not None
@@ -83,6 +91,27 @@ class BenchDiffTest(unittest.TestCase):
         fresh["intra"]["byte_identical"] = False
         r = self.run_diff(doc(), fresh)
         self.assertEqual(r.returncode, 1)
+
+    def test_replay_divergence_fails(self):
+        fresh = doc()
+        fresh["cache_kernel"]["replay_identical"] = False
+        r = self.run_diff(doc(), fresh)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("replay_identical", r.stderr)
+
+    def test_simd_ratio_regression_fails_on_same_backend(self):
+        r = self.run_diff(doc(match=3.0), doc(match=1.0))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("simd.match_u64", r.stderr)
+
+    def test_simd_not_gated_across_backends(self):
+        # A scalar-fallback or cross-ISA run measures a different kernel:
+        # its ~1.0x ratios print informationally instead of failing.
+        r = self.run_diff(doc(backend="sse2"),
+                          doc(backend="scalar", match=1.0, find=1.0))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("not gated", r.stdout)
+        self.assertIn("backend differs", r.stdout)
 
     def test_schema_mismatch_is_usage_error(self):
         r = self.run_diff(doc(), doc(schema="delta-bench-throughput-v999"))
