@@ -19,10 +19,16 @@
 //     vs --jobs N, with a byte-identity check on the results.  On a 1-CPU
 //     host the ratio is ~1 by construction; `hw_threads` is recorded so
 //     consumers can tell "no speedup available" from "regression".
-//   * intra         — ONE 64-tile delta run at --intra-jobs 1/2/4: the
-//     scaling curve of the bank-sharded epoch engine, with the same
+//   * intra         — ONE 64-tile delta run at --intra-jobs 1/2/4/8: the
+//     scaling curve of the fused pipeline epoch engine, with the same
 //     byte-identity requirement (and the same 1-CPU caveat; divergence
-//     fails regardless of host, speedup is informational).
+//     fails regardless of host, speedup is gated only on multi-core
+//     runners — bench_diff skips the ratio when hw_threads == 1).
+//   * engine_health — machine-independent scheduler counters from the
+//     profiled run (barriers per epoch, tasks, steal fraction, stage/apply
+//     overlap fraction; v5).  barriers_per_epoch is structural — 2 per
+//     epoch for the fused section vs 6 for the old three-phase lockstep —
+//     and bench_diff gates it on every host.
 //
 // Usage: micro_throughput [--out BENCH_throughput.json] [--jobs N]
 //                         [--reps N] [--quick]
@@ -339,7 +345,7 @@ int main(int argc, char** argv) {
     std::string summary;
   };
   std::vector<IntraPoint> intra_points;
-  for (const int ij : {1, 2, 4}) {
+  for (const int ij : {1, 2, 4, 8}) {
     sim::MachineConfig c = intra_cfg;
     c.intra_jobs = ij;
     IntraPoint p;
@@ -387,18 +393,38 @@ int main(int argc, char** argv) {
   };
   const double barrier_frac = gauge_or_zero("delta_intra_barrier_wait_fraction");
   const double imbalance = gauge_or_zero("delta_intra_worker_imbalance_ratio");
-  std::printf("prof (4-way intra): stage %.1fms apply %.1fms reduce %.1fms "
-              "barrier %.1fms, wait fraction %.3f, imbalance %.2f\n",
+  std::printf("prof (4-way intra): pipeline %.1fms stage %.1fms apply %.1fms "
+              "reduce %.1fms barrier %.1fms, wait fraction %.3f, imbalance %.2f\n",
+              prof_snap.phase_ns(obs::prof::Phase::kPipeline) / 1e6,
               prof_snap.phase_ns(obs::prof::Phase::kStage) / 1e6,
               prof_snap.phase_ns(obs::prof::Phase::kApply) / 1e6,
               prof_snap.phase_ns(obs::prof::Phase::kReduce) / 1e6,
               prof_snap.phase_ns(obs::prof::Phase::kBarrier) / 1e6,
               barrier_frac, imbalance);
 
+  // ---- Engine-health counters (v5): machine-independent scheduler shape
+  // of the profiled run.  The registry was reset right before it, so the
+  // totals cover exactly that run's epochs.
+  const double health_epochs = gauge_or_zero("delta_intra_engine_epochs_total");
+  const double health_tasks = gauge_or_zero("delta_intra_tasks_total");
+  const double barriers_per_epoch = gauge_or_zero("delta_intra_barriers_per_epoch");
+  const double sections_per_epoch =
+      health_epochs > 0.0
+          ? gauge_or_zero("delta_intra_pool_sections_total") / health_epochs
+          : 0.0;
+  const double tasks_per_epoch =
+      health_epochs > 0.0 ? health_tasks / health_epochs : 0.0;
+  const double steal_frac = gauge_or_zero("delta_intra_steal_fraction");
+  const double overlap_frac =
+      gauge_or_zero("delta_intra_stage_apply_overlap_fraction");
+  std::printf("engine health: %.1f barriers/epoch, %.1f tasks/epoch, "
+              "steal fraction %.3f, stage/apply overlap %.3f\n",
+              barriers_per_epoch, tasks_per_epoch, steal_frac, overlap_frac);
+
   // ---- BENCH_throughput.json. ----
   std::string j;
   j += "{\n";
-  j += "  \"schema\": \"delta-bench-throughput-v4\",\n";
+  j += "  \"schema\": \"delta-bench-throughput-v5\",\n";
   j += "  \"hw_threads\": " +
        obs::json_num(static_cast<double>(std::thread::hardware_concurrency())) + ",\n";
   j += "  \"jobs\": " + obs::json_num(static_cast<double>(jobs)) + ",\n";
@@ -478,6 +504,9 @@ int main(int argc, char** argv) {
   j += "  \"prof\": {\n";
   j += "    \"intra_jobs\": 4,\n";
   j += "    \"phase_ms\": {\n";
+  j += "      \"pipeline\": " +
+       obs::json_num(prof_snap.phase_ns(obs::prof::Phase::kPipeline) / 1e6) +
+       ",\n";
   j += "      \"stage\": " +
        obs::json_num(prof_snap.phase_ns(obs::prof::Phase::kStage) / 1e6) + ",\n";
   j += "      \"apply\": " +
@@ -492,6 +521,16 @@ int main(int argc, char** argv) {
   j += "    },\n";
   j += "    \"barrier_wait_fraction\": " + obs::json_num(barrier_frac) + ",\n";
   j += "    \"worker_imbalance_ratio\": " + obs::json_num(imbalance) + "\n";
+  j += "  },\n";
+  j += "  \"engine_health\": {\n";
+  j += "    \"epochs\": " + obs::json_num(health_epochs) + ",\n";
+  j += "    \"barriers_per_epoch\": " + obs::json_num(barriers_per_epoch) + ",\n";
+  j += "    \"pool_sections_per_epoch\": " + obs::json_num(sections_per_epoch) +
+       ",\n";
+  j += "    \"tasks_per_epoch\": " + obs::json_num(tasks_per_epoch) + ",\n";
+  j += "    \"steal_fraction\": " + obs::json_num(steal_frac) + ",\n";
+  j += "    \"stage_apply_overlap_fraction\": " + obs::json_num(overlap_frac) +
+       "\n";
   j += "  }\n";
   j += "}\n";
   if (!obs::write_text_file(out_path, j)) {

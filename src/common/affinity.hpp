@@ -1,0 +1,71 @@
+// CPU-affinity helpers for the worker pools.
+//
+// The intra-run engine's WorkerPool can optionally pin each party to a fixed
+// CPU so repeated epoch sections keep their caches warm and the first-touch
+// buffer placement done at engine construction stays local to the worker
+// that will use it (a poor-man's NUMA policy: the thread that touches a page
+// first owns it, and pinning keeps it on that node).
+//
+// Pinning is strictly opt-in and strictly best-effort: on platforms without
+// an affinity API (or when the syscall fails, e.g. inside a restricted
+// cgroup) every call degrades to a no-op that reports false.  Simulation
+// results never depend on whether pinning took effect — it is a pure
+// placement hint.
+//
+// This header is the single place allowed to touch the raw OS affinity API
+// (`pthread_setaffinity_np` and friends); the `raw-affinity` lexical lint
+// rule rejects those identifiers anywhere else under src/.
+#pragma once
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include <thread>
+
+namespace delta::common {
+
+/// True when this build can actually pin threads (Linux).  Callers use this
+/// only for reporting; pin_current_thread() is always safe to call.
+inline bool affinity_supported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Number of CPUs the calling thread is allowed to run on (its current
+/// affinity mask).  Falls back to hardware_concurrency, and never returns 0.
+inline unsigned affinity_cpu_count() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Pins the calling thread to CPU `cpu % affinity_cpu_count()`.  Returns
+/// true if the mask was applied, false when unsupported or rejected by the
+/// OS; a false return leaves the thread's affinity unchanged (no-op
+/// fallback).
+inline bool pin_current_thread(unsigned cpu) {
+#if defined(__linux__)
+  const unsigned ncpu = affinity_cpu_count();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % ncpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace delta::common

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/affinity.hpp"
 #include "common/sync.hpp"
 
 namespace delta {
@@ -160,6 +161,56 @@ class CyclicBarrier {
   std::uint64_t generation_ GUARDED_BY(mu_) = 0;
 };
 
+/// Deterministic sequential claim word for the work-stealing schedulers.
+///
+/// One SeqClaim guards one ordered chain of work units (e.g. the round-range
+/// tasks of a single cache bank, which must apply in ascending order).  The
+/// word packs `(next_unit << 1) | busy`: a worker may only claim the exact
+/// unit the chain has advanced to, so units always execute in sequence no
+/// matter which worker wins the race — *which* thread runs a unit can vary,
+/// *what order* units run in cannot, and that is the whole byte-identity
+/// argument for stealing.
+///
+/// Memory ordering: try_claim() acquires (the winner sees everything the
+/// previous unit's complete() released) and complete() releases the unit's
+/// writes to the next claimant.  A failed try_claim carries no ordering.
+///
+/// Units are capped at 2^31-1 per chain — epoch round counts are orders of
+/// magnitude below that.
+class SeqClaim {
+ public:
+  /// Resets the chain to `unit` (not thread-safe; call between sections).
+  void reset(std::uint32_t unit = 0) {
+    word_.store(unit << 1, std::memory_order_relaxed);
+  }
+
+  /// Lower bound of the next unclaimed unit (racy snapshot; monotone).
+  std::uint32_t next_unit() const {
+    return word_.load(std::memory_order_relaxed) >> 1;
+  }
+
+  /// True while some worker holds a claimed-but-incomplete unit.
+  bool busy() const { return (word_.load(std::memory_order_relaxed) & 1u) != 0; }
+
+  /// Attempts to claim `unit`; succeeds only when the chain is exactly at
+  /// `unit` and idle.  The winner must eventually call complete(unit).
+  bool try_claim(std::uint32_t unit) {
+    std::uint32_t expected = unit << 1;
+    return word_.compare_exchange_strong(expected, (unit << 1) | 1u,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Marks `unit` finished and opens unit+1 for claiming, publishing the
+  /// unit's writes to whichever worker claims next.
+  void complete(std::uint32_t unit) {
+    word_.store((unit + 1) << 1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> word_{0};
+};
+
 /// Observation hooks for WorkerPool sections.  The profiler (obs/prof)
 /// implements this to measure per-worker busy time and barrier waits without
 /// the pool itself touching a clock (wall-clock reads are banned outside
@@ -195,13 +246,31 @@ class WorkerHooks {
 ///
 /// A pool instance may only be driven from one thread at a time; the
 /// intra-run engine owns one pool per Chip, matching that contract.
+///
+/// Opt-in affinity: with `Options::pin_threads` each party pins itself to
+/// CPU `w % affinity_cpu_count()` — including party 0, i.e. the *calling*
+/// thread, which is why pinning is off by default.  Pinning is best-effort
+/// (common/affinity.hpp no-op fallback) and never affects results, only
+/// cache locality of the per-worker buffers placed by first touch.
 class WorkerPool {
  public:
-  explicit WorkerPool(unsigned parties)
+  struct Options {
+    bool pin_threads;
+    // Written as constructors (not default member initializers) so the
+    // WorkerPool constructor below can default-construct one in a default
+    // argument while the enclosing class is still incomplete.
+    Options() : pin_threads(false) {}
+    explicit Options(bool pin) : pin_threads(pin) {}
+  };
+
+  explicit WorkerPool(unsigned parties, Options options = Options())
       : parties_(parties == 0 ? 1 : parties),
+        options_(options),
         start_(parties_ == 0 ? 1 : parties_),
         done_(parties_ == 0 ? 1 : parties_),
         errors_(parties_ == 0 ? 1 : parties_) {
+    if (options_.pin_threads && common::pin_current_thread(0))
+      pinned_count_.fetch_add(1, std::memory_order_relaxed);
     threads_.reserve(parties_ - 1);
     for (unsigned w = 1; w < parties_; ++w)
       threads_.emplace_back([this, w] { worker_loop(w); });
@@ -219,6 +288,16 @@ class WorkerPool {
   }
 
   unsigned parties() const { return parties_; }
+
+  /// Whether Options::pin_threads was requested at construction.
+  bool pin_requested() const { return options_.pin_threads; }
+
+  /// Parties whose self-pin succeeded so far (0 on platforms without an
+  /// affinity API, or when pinning was not requested).  Workers pin before
+  /// their first section, so after any run() the count is settled.
+  unsigned pinned_parties() const {
+    return pinned_count_.load(std::memory_order_relaxed);
+  }
 
   /// Installs (or clears, with nullptr) the section observation hooks.  May
   /// only be called from the owning thread while no section is running; the
@@ -250,6 +329,8 @@ class WorkerPool {
 
  private:
   void worker_loop(unsigned w) {
+    if (options_.pin_threads && common::pin_current_thread(w))
+      pinned_count_.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
       start_.arrive_and_wait();
       if (stop_) return;
@@ -269,6 +350,8 @@ class WorkerPool {
   }
 
   const unsigned parties_;
+  const Options options_;
+  std::atomic<unsigned> pinned_count_{0};
   CyclicBarrier start_;
   CyclicBarrier done_;
   // Both written by the caller strictly before a start-barrier arrival and

@@ -126,6 +126,7 @@ class Linter {
     check_unordered_iteration();
     check_nondeterminism_sources();
     check_raw_intrinsics();
+    check_raw_affinity();
     check_pointer_keys();
     check_naked_new();
     check_own_header_first();
@@ -285,6 +286,40 @@ class Linter {
     }
   }
 
+  /// Raw OS thread-affinity API outside the portability shim.  Every
+  /// affinity call must live in src/common/affinity.hpp so the no-op
+  /// fallback keeps covering the whole codebase and platform-specific
+  /// pinning never leaks into the engine (docs/performance.md).
+  void check_raw_affinity() {
+    if (info_.path_label.find("src/common/affinity.hpp") != std::string::npos)
+      return;
+    static constexpr const char* kWords[] = {
+        "pthread_setaffinity_np", "pthread_getaffinity_np",
+        "sched_setaffinity",      "sched_getaffinity",
+        "cpu_set_t",              "sched_getcpu",
+    };
+    for (std::size_t li = 0; li < code_lines_.size(); ++li) {
+      const std::string_view line = code_lines_[li];
+      if (line.find("#include") != std::string_view::npos) {
+        if (line.find("sched.h") != std::string_view::npos) {
+          add(static_cast<int>(li), "raw-affinity",
+              "<sched.h> outside src/common/affinity.hpp; use the "
+              "common::pin_current_thread shim instead");
+        }
+        continue;
+      }
+      for (const char* word : kWords) {
+        if (find_word(line, word) != std::string_view::npos) {
+          add(static_cast<int>(li), "raw-affinity",
+              std::string(word) +
+                  " outside src/common/affinity.hpp; use the "
+                  "common::pin_current_thread shim (no-op fallback) instead");
+          break;
+        }
+      }
+    }
+  }
+
   void check_pointer_keys() {
     for (std::size_t li = 0; li < code_lines_.size(); ++li) {
       const std::string_view line = code_lines_[li];
@@ -386,6 +421,7 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root,
                             rule_selected(opts, "unordered-iter") ||
                             rule_selected(opts, "nondet-source") ||
                             rule_selected(opts, "raw-intrinsic") ||
+                            rule_selected(opts, "raw-affinity") ||
                             rule_selected(opts, "ptr-key") ||
                             rule_selected(opts, "naked-new") ||
                             rule_selected(opts, "own-header-first");

@@ -21,6 +21,11 @@
 //                     the single SIMD dispatch layer — per-ISA code outside
 //                     it escapes the -DDELTA_NO_SIMD scalar-equivalence CI
 //                     job and the bit-identity contract it enforces
+//   raw-affinity      raw OS thread-affinity API (pthread_setaffinity_np,
+//                     sched_setaffinity, cpu_set_t, sched_getcpu, <sched.h>)
+//                     anywhere but src/common/affinity.hpp, the single
+//                     portability shim — scattered affinity calls skip its
+//                     no-op fallback and tie code to one platform
 //   ptr-key           pointer-keyed ordered containers (std::map<T*, ...>):
 //                     ordered by allocation addresses, i.e. by ASLR
 //   naked-new         naked new/delete — owning raw pointers; use values,
@@ -82,9 +87,9 @@ struct FileInfo {
 std::vector<Finding> lint_text(const FileInfo& info, std::string_view text);
 
 /// Tree-walk options.  `rules` empty == run everything; otherwise only the
-/// named rules are reported.  Known names: the six lexical rules
-/// (unordered-iter, nondet-source, raw-intrinsic, ptr-key, naked-new,
-/// own-header-first)
+/// named rules are reported.  Known names: the seven lexical rules
+/// (unordered-iter, nondet-source, raw-intrinsic, raw-affinity, ptr-key,
+/// naked-new, own-header-first)
 /// plus the semantic rules phase-effect (lint/phase_check.hpp), layering
 /// and include-cycle (lint/layering.hpp).
 struct TreeOptions {

@@ -38,6 +38,7 @@ std::string_view phase_name(Phase p) {
     case Phase::kStage: return "stage";
     case Phase::kApply: return "apply";
     case Phase::kReduce: return "reduce";
+    case Phase::kPipeline: return "pipeline";
     case Phase::kSerialTail: return "serial_tail";
     case Phase::kBarrier: return "barrier";
     case Phase::kSweepJob: return "sweep_job";
@@ -161,6 +162,17 @@ struct EngineProfile::Handles {
   HistogramMetric& occupancy;
   Counter& occupancy_pairs;
   Counter& occupancy_nonzero;
+  // Engine-health counters (structural; counted at every profiling level).
+  Counter& engine_epochs;
+  Counter& pool_sections;
+  Counter& barrier_crossings;
+  Counter& tasks;
+  Counter& tasks_stolen;
+  Counter& apply_ranges;
+  Counter& apply_ranges_overlapped;
+  Gauge& barriers_per_epoch;
+  Gauge& steal_fraction;
+  Gauge& overlap_fraction;
 
   explicit Handles(MetricsRegistry& reg)
       : epochs(reg.counter("delta_intra_epochs_total",
@@ -187,12 +199,38 @@ struct EngineProfile::Handles {
                                     "(core,bank) staging lists examined")),
         occupancy_nonzero(
             reg.counter("delta_intra_bank_buffer_pairs_nonzero",
-                        "(core,bank) staging lists holding any access")) {}
+                        "(core,bank) staging lists holding any access")),
+        engine_epochs(reg.counter("delta_intra_engine_epochs_total",
+                                  "Epochs with engine-health accounting")),
+        pool_sections(reg.counter("delta_intra_pool_sections_total",
+                                  "Worker-pool sections run by the engine")),
+        barrier_crossings(
+            reg.counter("delta_intra_barrier_crossings_total",
+                        "Pool barrier crossings (2 per section)")),
+        tasks(reg.counter("delta_intra_tasks_total",
+                          "Scheduler tasks executed (stage+apply+reduce)")),
+        tasks_stolen(reg.counter(
+            "delta_intra_tasks_stolen_total",
+            "Tasks executed by a worker outside its static home range")),
+        apply_ranges(reg.counter("delta_intra_apply_ranges_total",
+                                 "(bank, round-range) apply tasks executed")),
+        apply_ranges_overlapped(reg.counter(
+            "delta_intra_apply_ranges_overlapped_total",
+            "Apply ranges claimed while staging was still in flight")),
+        barriers_per_epoch(
+            reg.gauge("delta_intra_barriers_per_epoch",
+                      "Pool barrier crossings per engine epoch")),
+        steal_fraction(reg.gauge("delta_intra_steal_fraction",
+                                 "Stolen tasks / all scheduler tasks")),
+        overlap_fraction(reg.gauge(
+            "delta_intra_stage_apply_overlap_fraction",
+            "Apply ranges overlapped with staging / all apply ranges")) {}
 };
 
 EngineProfile::EngineProfile(unsigned workers)
     : workers_(workers == 0 ? 1 : workers),
       slots_(workers_),
+      tasks_(workers_),
       merge_(workers_),
       epoch_busy_(workers_, 0) {}
 
@@ -210,6 +248,7 @@ void EngineProfile::begin_section(Phase p, std::uint64_t epoch) {
   phase_ = p;
   epoch_arg_ = epoch;
   for (WorkerSlot& s : slots_) s = WorkerSlot{};
+  for (TaskSlot& t : tasks_) t = TaskSlot{};
 }
 
 void EngineProfile::section_begin(unsigned worker) {
@@ -217,9 +256,31 @@ void EngineProfile::section_begin(unsigned worker) {
   slots_[static_cast<std::size_t>(worker)].begin_ns = now_ns();
 }
 
+void EngineProfile::flush_task(unsigned worker, std::uint64_t now) {
+  TaskSlot& t = tasks_[static_cast<std::size_t>(worker)];
+  if (!t.open) return;
+  const std::uint64_t dur = now - t.start_ns;
+  Profiler::instance().record_span(t.phase, t.start_ns, dur, epoch_arg_);
+  t.task_ns[static_cast<std::size_t>(t.phase)] += dur;
+  t.open = false;
+}
+
+void EngineProfile::task_begin(unsigned worker, Phase p) {
+  if (!armed_) return;
+  TaskSlot& t = tasks_[static_cast<std::size_t>(worker)];
+  if (t.open && t.phase == p) return;  // Extend the run of same-kind tasks.
+  const std::uint64_t now = now_ns();
+  flush_task(worker, now);
+  t.phase = p;
+  t.start_ns = now;
+  t.open = true;
+}
+
 void EngineProfile::work_done(unsigned worker) {
   if (!armed_) return;
-  slots_[static_cast<std::size_t>(worker)].done_ns = now_ns();
+  const std::uint64_t now = now_ns();
+  flush_task(worker, now);
+  slots_[static_cast<std::size_t>(worker)].done_ns = now;
 }
 
 void EngineProfile::end_section() {
@@ -242,6 +303,14 @@ void EngineProfile::end_section() {
     cum_barrier_ns_ += wait;
     cum_section_ns_ += busy + wait;
     epoch_busy_[w] += busy;
+    // Fold the worker's per-kind task time (fused kPipeline sections record
+    // stage/apply/reduce attribution through task_begin) into the run
+    // totals, so busy_ns(kStage/kApply/kReduce) keeps working.
+    TaskSlot& t = tasks_[w];
+    for (std::size_t p = 0; p < t.task_ns.size(); ++p) {
+      cum_busy_[p] += t.task_ns[p];
+      t.task_ns[p] = 0;
+    }
   }
 }
 
@@ -288,6 +357,47 @@ void EngineProfile::end_epoch(std::uint64_t epoch) {
   handles_->barrier_frac.set(barrier_wait_fraction());
   handles_->imbalance.set(worker_imbalance_ratio());
   handles_->merge_frac.set(merge_serial_fraction());
+}
+
+void EngineProfile::count_epoch(std::uint64_t pool_sections, std::uint64_t tasks,
+                                std::uint64_t tasks_stolen,
+                                std::uint64_t apply_ranges,
+                                std::uint64_t apply_ranges_overlapped) {
+  ensure_handles();
+  ++health_epochs_;
+  health_sections_ += pool_sections;
+  health_tasks_ += tasks;
+  health_stolen_ += tasks_stolen;
+  health_ranges_ += apply_ranges;
+  health_overlapped_ += apply_ranges_overlapped;
+  handles_->engine_epochs.add(1);
+  handles_->pool_sections.add(pool_sections);
+  handles_->barrier_crossings.add(2 * pool_sections);
+  handles_->tasks.add(tasks);
+  handles_->tasks_stolen.add(tasks_stolen);
+  handles_->apply_ranges.add(apply_ranges);
+  handles_->apply_ranges_overlapped.add(apply_ranges_overlapped);
+  handles_->barriers_per_epoch.set(barriers_per_epoch());
+  handles_->steal_fraction.set(steal_fraction());
+  handles_->overlap_fraction.set(stage_apply_overlap_fraction());
+}
+
+double EngineProfile::barriers_per_epoch() const {
+  return health_epochs_ > 0 ? 2.0 * static_cast<double>(health_sections_) /
+                                  static_cast<double>(health_epochs_)
+                            : 0.0;
+}
+
+double EngineProfile::steal_fraction() const {
+  return health_tasks_ > 0 ? static_cast<double>(health_stolen_) /
+                                 static_cast<double>(health_tasks_)
+                           : 0.0;
+}
+
+double EngineProfile::stage_apply_overlap_fraction() const {
+  return health_ranges_ > 0 ? static_cast<double>(health_overlapped_) /
+                                  static_cast<double>(health_ranges_)
+                            : 0.0;
 }
 
 std::uint64_t EngineProfile::busy_ns(Phase p) const {

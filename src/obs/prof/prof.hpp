@@ -62,9 +62,10 @@ enum class Phase : std::uint8_t {
   kPolicy,        ///< Budgets + begin_epoch + monitor decay + checker.
   kSerialAccess,  ///< Serial interleaved issue loop (no intra engine).
   kAccounting,    ///< MCU end_epoch + epoch accounting + timeline sample.
-  kStage,         ///< Intra phase 1 worker section.
-  kApply,         ///< Intra phase 2 worker section.
-  kReduce,        ///< Intra phase 3 worker section.
+  kStage,         ///< Intra staging task run (per-worker, inside kPipeline).
+  kApply,         ///< Intra apply task run (per-worker, inside kPipeline).
+  kReduce,        ///< Intra reduce task run (per-worker, inside kPipeline).
+  kPipeline,      ///< Intra fused stage+apply+reduce worker section.
   kSerialTail,    ///< Intra serial integer-tally reduction.
   kBarrier,       ///< Done-barrier wait inside a worker section.
   kSweepJob,      ///< One run_sweep job (a whole simulation).
@@ -305,6 +306,15 @@ class EngineProfile final : public WorkerHooks {
   void section_begin(unsigned worker) override;
   void work_done(unsigned worker) override;
 
+  /// Worker-side task attribution inside a fused kPipeline section: the
+  /// scheduler calls this when worker `worker` starts a task of kind `p`
+  /// (kStage / kApply / kReduce).  Consecutive tasks of the same kind extend
+  /// one span; a kind switch closes the open span and records it, so the
+  /// trace keeps per-phase rows even though the pool runs a single fused
+  /// section.  work_done() flushes the last open span.  No-op when the
+  /// section is not armed.
+  void task_begin(unsigned worker, Phase p);
+
   /// Sampled cursor-merge scan accounting, one per worker; apply_bank adds
   /// to the slot of the worker running it.
   struct MergeScratch {
@@ -324,6 +334,23 @@ class EngineProfile final : public WorkerHooks {
   /// (fractions, imbalance, per-epoch histograms) into the registry.
   void end_epoch(std::uint64_t epoch);
 
+  /// Machine-independent engine-health accounting, one call per epoch from
+  /// the owner thread.  Unlike the timing metrics this is NOT gated on the
+  /// profiling level: the counts are structural (how many pool sections,
+  /// tasks, steals and overlapped apply ranges the epoch used), so CI can
+  /// gate scaling *structure* even on 1-hw-thread hosts where wall-clock
+  /// ratios are meaningless.  Each pool section costs two barrier
+  /// crossings (start + done).
+  void count_epoch(std::uint64_t pool_sections, std::uint64_t tasks,
+                   std::uint64_t tasks_stolen, std::uint64_t apply_ranges,
+                   std::uint64_t apply_ranges_overlapped);
+
+  // Cumulative health totals (any profiling level).
+  std::uint64_t health_epochs() const { return health_epochs_; }
+  double barriers_per_epoch() const;
+  double steal_fraction() const;
+  double stage_apply_overlap_fraction() const;
+
   // Cumulative run totals, exposed for tests and the bench phase breakdown.
   std::uint64_t busy_ns(Phase p) const;
   std::uint64_t barrier_ns() const { return cum_barrier_ns_; }
@@ -337,8 +364,21 @@ class EngineProfile final : public WorkerHooks {
     std::uint64_t done_ns = 0;
   };
 
+  /// Open task span of one worker (task_begin/work_done flush).  Written
+  /// only by the owning worker inside a section; task_ns is read by the
+  /// owner after the done barrier (which orders it, like WorkerSlot).
+  struct TaskSlot {
+    std::uint64_t start_ns = 0;
+    Phase phase = Phase::kStage;
+    bool open = false;
+    std::array<std::uint64_t, static_cast<std::size_t>(Phase::kCount)> task_ns{};
+  };
+
+  void flush_task(unsigned worker, std::uint64_t now);
+
   const unsigned workers_;
   std::vector<WorkerSlot> slots_;
+  std::vector<TaskSlot> tasks_;
   std::vector<MergeScratch> merge_;
   std::vector<std::uint64_t> epoch_busy_;  ///< Per worker, this epoch.
   Phase phase_ = Phase::kStage;
@@ -355,6 +395,14 @@ class EngineProfile final : public WorkerHooks {
   std::uint64_t merge_rounds_ = 0;
   std::uint64_t merge_sampled_rounds_ = 0;
   std::uint64_t merge_scan_ns_ = 0;
+
+  // Health totals (owner thread only; counted at every profiling level).
+  std::uint64_t health_epochs_ = 0;
+  std::uint64_t health_sections_ = 0;
+  std::uint64_t health_tasks_ = 0;
+  std::uint64_t health_stolen_ = 0;
+  std::uint64_t health_ranges_ = 0;
+  std::uint64_t health_overlapped_ = 0;
 
   struct Handles;
   std::unique_ptr<Handles> handles_;  ///< Lazily bound registry metrics.

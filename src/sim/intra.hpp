@@ -2,44 +2,63 @@
 // threads while staying byte-identical to the serial interleaved loop.
 //
 // The serial engine (Chip::run_one_epoch) issues accesses in round-robin
-// batches of Chip::kInterleaveBatch per core.  This engine reproduces the
-// exact same computation in three data-parallel phases per epoch:
+// batches of Chip::interleave_batch() per core.  Earlier revisions of this
+// engine reproduced that computation in three lockstep phases (stage cores /
+// apply banks / reduce cores), which cost six barrier crossings per epoch
+// and left half the section time parked on the CyclicBarrier.  The current
+// engine fuses all three phases into ONE worker-pool section per epoch — two
+// barrier crossings total — scheduled by deterministic work-stealing:
 //
-//   Phase 1 — cores in parallel.  Each core draws its full access stream
+//   Stage tasks — one per core.  Each core draws its full access stream
 //     (RNG, UMON shadow-tag update, scheme->map() bank routing) into a
-//     pre-sized per-core staging buffer and per-(core, bank) index lists.
-//     No shared state is written: TraceGen/Umon are per-core, and map() is
-//     const over epoch-constant routing state (CBTs / S-NUCA hashing are
-//     only rewired inside begin_epoch, which runs before this phase).
+//     pre-sized per-core buffer plus per-(core, bank, slice) index
+//     segments, where a slice is a fixed run of interleave rounds (the
+//     apply-task granularity, MachineConfig::intra_apply_rounds).  A task
+//     covers a whole core because the stream is one RNG chain; workers
+//     claim their static home range first, then steal unclaimed cores in
+//     ascending core order.  After each slice's segment is complete the
+//     stager publishes a per-core watermark (release store), so appliers
+//     can chase right behind it — segments already published are never
+//     written again, which is what makes the overlap data-race-free.
 //
-//   Phase 2 — banks in parallel.  Each bank worker merges its staged
-//     per-core index lists back into the canonical serial interleaving
-//     order — ascending (round, core, index) where round = index /
-//     kInterleaveBatch — and applies them against its own SetAssocCache,
-//     enforcer slice, and insert-mask state.  insert_mask() /
+//   Apply tasks — one per (bank, slice).  The slices of one bank form a
+//     sequential chain guarded by a SeqClaim word (common/parallel.hpp):
+//     any worker may claim the next slice of any bank once every core's
+//     watermark covers it, so bank work spreads across whichever workers
+//     are free — the deterministic work-stealing that removes the static
+//     partition's imbalance.  Within a slice the merge walks the canonical
+//     serial order — ascending (round, core, index) with round = index /
+//     interleave_batch() — so each bank sees the exact serial access
+//     sequence no matter which workers ran its slices.  insert_mask() /
 //     evict_preference() / on_insertion() touch only bank-local or
-//     epoch-constant scheme state (the contract documented in scheme.hpp),
-//     so distinct banks never race.  Miss latency uses the MCU's
-//     epoch-constant current_request_latency(); the per-access latency is
-//     written back into the staging buffer and integer tallies (hits,
-//     misses, MCU request counts) accumulate per bank.
+//     epoch-constant scheme state (scheme.hpp contract); the slice chain
+//     orders all writes to one bank.  Miss latency uses the MCU's
+//     epoch-constant current_request_latency(); per-access latencies are
+//     written back into the staging buffer and integer tallies accumulate
+//     per bank.
 //
-//   Phase 3 — cores in parallel.  Each core folds its latencies into the
-//     slot's double accumulators walking its own stream in index order —
-//     the exact order the serial loop added them, because a core's
-//     accesses reach its accumulators in stream order regardless of how
-//     the serial loop interleaved cores.  All latency inputs are integral
-//     cycles, so the sums are bit-equal, not merely close.
+//   Reduce tasks — one per core, claimed like stage tasks, runnable once
+//     every bank finished its last slice.  Each core folds its latencies
+//     into the slot's double accumulators walking its own stream in index
+//     order — the exact order the serial loop added them — so the FP sums
+//     are bit-equal, not merely close.
 //
-// Between phases the caller folds the per-bank integer tallies in fixed
-// bank order (traffic counters, per-core hit/miss totals, bulk MCU request
-// counts) — integer additions, hence order-insensitive anyway.
+// Work-stealing never changes results: *which* worker runs a task is the
+// only degree of freedom, and every task's effect is a function of the
+// dependency chain (per-core stream order, per-bank slice order), not of
+// the thread that executes it.
+//
+// After the section the caller folds the per-bank integer tallies serially
+// in fixed bank order (traffic counters, per-core hit/miss totals, bulk MCU
+// request counts) — integer additions, hence order-insensitive anyway.
 //
 // Policy steps (begin_epoch reconfiguration, UMON decay, the invariant
-// checker) stay on the serial epoch barrier in Chip::run_one_epoch.
+// checker) stay on the serial epoch boundary in Chip::run_one_epoch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <vector>
 
@@ -55,7 +74,10 @@ class IntraEngine {
  public:
   /// `threads` is the resolved worker count (>= 2; Chip keeps the serial
   /// loop for 1).  The pool threads persist for the Chip's lifetime and
-  /// park on a barrier between epochs.
+  /// park on a barrier between epochs; MachineConfig::intra_pin opts into
+  /// CPU-affinity pinning, and the constructor runs a first-touch warm pass
+  /// so per-worker buffers are faulted in by (roughly) the workers that
+  /// will use them.
   IntraEngine(Chip& chip, unsigned threads);
 
   /// Replaces the serial interleaved-issue loop for one epoch.  Callable
@@ -66,8 +88,9 @@ class IntraEngine {
   unsigned threads() const { return pool_.parties(); }
 
  private:
-  /// One staged access: routing decided in phase 1, latency filled in by
-  /// phase 2, folded into the slot's accumulators in phase 3.
+  /// One staged access: routing decided by the stage task, latency filled
+  /// in by an apply task, folded into the slot's accumulators by a reduce
+  /// task.
   struct Staged {
     BlockAddr block = 0;
     std::uint32_t set = 0;
@@ -75,13 +98,19 @@ class IntraEngine {
     std::uint16_t bank = 0;
   };
 
-  /// Per-core staging, reused across epochs.
+  /// Per-core staging, reused across epochs.  to_bank is segmented per
+  /// slice — to_bank[bank][slice] holds the indices staged for that bank
+  /// during that slice — so a published segment is immutable while later
+  /// slices are still being staged (appliers read only below the
+  /// watermark).
   struct CoreStage {
-    std::vector<Staged> acc;                        ///< Stream in draw order.
-    std::vector<std::vector<std::uint32_t>> to_bank;  ///< Indices per bank.
+    std::vector<Staged> acc;  ///< Stream in draw order.
+    std::vector<std::vector<std::vector<std::uint32_t>>> to_bank;
   };
 
-  /// Per-bank integer tallies, reused across epochs.
+  /// Per-bank integer tallies, reused across epochs.  Written only by the
+  /// bank's apply-slice chain (SeqClaim-ordered), read by the owner after
+  /// the section.
   struct BankTally {
     std::vector<std::uint64_t> hits;      ///< Per core.
     std::vector<std::uint64_t> misses;    ///< Per core.
@@ -89,19 +118,63 @@ class IntraEngine {
     std::vector<std::size_t> cursor;      ///< Merge scratch, per core.
   };
 
+  /// Per-worker scheduler accounting, folded into the engine-health
+  /// counters by the owner after the section.
+  struct WorkerStats {
+    std::uint64_t tasks = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t ranges = 0;
+    std::uint64_t overlapped = 0;
+  };
+
+  // Task bodies (run by whichever worker claimed the task).
   void stage_core(CoreId c);
   /// `ms` is non-null only when kFull profiling samples the cursor-merge
   /// scan (1 round in 8); the clock reads live in obs/prof.
-  void apply_bank(BankId b, obs::prof::EngineProfile::MergeScratch* ms);
+  void apply_bank_slice(BankId b, std::uint32_t slice,
+                        obs::prof::EngineProfile::MergeScratch* ms);
   void reduce_core(CoreId c, bool measuring);
   /// Feeds per-(core,bank) staging-list occupancy into the profile (kFull).
   void record_buffer_occupancy();
 
+  // Scheduler (one call per worker per phase, inside the fused section).
+  void worker_run(unsigned w, bool measuring);
+  void run_stage_tasks(unsigned w);
+  void run_apply_tasks(unsigned w);
+  void run_reduce_tasks(unsigned w, bool measuring);
+  /// Lowest per-core staging watermark, in slices (acquire-loads every
+  /// core's own counter so the claimed slice's segments are visible to the
+  /// calling thread — a cached cross-thread minimum would not carry the
+  /// happens-before edges).
+  std::uint32_t staged_min() const;
+
+  /// Owner-side per-epoch reset: slice geometry, claim words, watermarks.
+  void prepare_epoch();
+  /// Rethrows the first captured task exception in worker-index order.
+  void rethrow_task_errors();
+
   Chip& chip_;
   WorkerPool pool_;
-  std::vector<CoreStage> stages_;           ///< One per core.
-  std::vector<BankTally> tallies_;          ///< One per bank.
-  std::vector<std::uint64_t> remote_;       ///< Per core: hop > 0 accesses.
+  std::vector<CoreStage> stages_;   ///< One per core.
+  std::vector<BankTally> tallies_;  ///< One per bank.
+  std::vector<std::uint64_t> remote_;  ///< Per core: hop > 0 accesses.
+  std::vector<WorkerStats> wstats_;    ///< Per worker, reset per epoch.
+  /// Slot w: written only by worker w inside the section, read by the
+  /// owner after the done barrier (same ordering argument as WorkerPool).
+  std::vector<std::exception_ptr> task_errors_;
+
+  // Epoch-scoped scheduler state (owner resets in prepare_epoch; the pool's
+  // start barrier publishes the reset to workers).
+  std::uint32_t num_slices_ = 1;       ///< Apply tasks per bank this epoch.
+  std::uint64_t slice_accesses_ = 1;   ///< Accesses per slice per core.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> staged_slices_;  ///< Per core.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> stage_claim_;     ///< Per core.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> reduce_claim_;    ///< Per core.
+  std::unique_ptr<SeqClaim[]> apply_claim_;                      ///< Per bank.
+  std::atomic<std::uint32_t> stage_done_{0};  ///< Cores fully staged.
+  std::atomic<std::uint32_t> banks_done_{0};  ///< Banks fully applied.
+  std::atomic<bool> failed_{false};           ///< A task threw; drain spins.
+
   /// Phase/barrier spans + derived per-epoch metrics; owns no sim state and
   /// never feeds back into the computation (determinism contract).
   obs::prof::EngineProfile profile_;

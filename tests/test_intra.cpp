@@ -5,7 +5,9 @@
 // count — because "close" is not the contract; bit-equal is.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "check/fuzz.hpp"
@@ -65,13 +67,59 @@ TEST(Intra, ByteIdentical64Tile) {
   // The 64-tile machine has 4x the banks and the replicated mix; keep the
   // run short but cover the schemes with during-epoch machinery (delta's
   // distributed controller, carma's auction enforcement, lfoc's slice
-  // resizing) plus the S-NUCA baseline.
+  // resizing) plus the S-NUCA baseline.  8 jobs oversubscribes a small CI
+  // host, which is exactly the regime where stolen schedules differ most
+  // between runs — and must still not differ in results.
   for (const sim::SchemeKind kind :
        {sim::SchemeKind::kDelta, sim::SchemeKind::kSnuca,
         sim::SchemeKind::kCarma, sim::SchemeKind::kLfoc}) {
-    EXPECT_EQ(run_summary(quick64(1), "w13", kind),
-              run_summary(quick64(4), "w13", kind))
+    const std::string serial = run_summary(quick64(1), "w13", kind);
+    EXPECT_EQ(serial, run_summary(quick64(4), "w13", kind))
         << "64-tile intra-jobs 4 diverged for " << sim::to_string(kind);
+    EXPECT_EQ(serial, run_summary(quick64(8), "w13", kind))
+        << "64-tile intra-jobs 8 diverged for " << sim::to_string(kind);
+  }
+}
+
+TEST(Intra, ByteIdenticalWithPinningEnabled) {
+  // Opt-in CPU affinity must be invisible to the computation: pinned and
+  // unpinned runs of the same config agree with the serial loop.
+  sim::MachineConfig pinned = quick64(8);
+  pinned.intra_pin = true;
+  EXPECT_EQ(run_summary(quick64(1), "w13", sim::SchemeKind::kDelta),
+            run_summary(pinned, "w13", sim::SchemeKind::kDelta));
+}
+
+TEST(Intra, ByteIdenticalUnderInterleaveBatchOverride) {
+  // interleave_batch IS part of the determinism contract: a different batch
+  // interleaves the per-core streams differently and legitimately changes
+  // results — but serial and intra must agree at any given value.
+  for (const std::uint32_t batch : {1u, 5u, 32u}) {
+    sim::MachineConfig serial_cfg = quick16(1);
+    serial_cfg.interleave_batch = batch;
+    sim::MachineConfig par_cfg = quick16(4);
+    par_cfg.interleave_batch = batch;
+    EXPECT_EQ(run_summary(serial_cfg, "w2", sim::SchemeKind::kDelta),
+              run_summary(par_cfg, "w2", sim::SchemeKind::kDelta))
+        << "interleave_batch " << batch << " diverged";
+  }
+  // And the override really is an override: batch 1 and the default batch
+  // are different interleavings, so their results must differ.
+  sim::MachineConfig one = quick16(1);
+  one.interleave_batch = 1;
+  EXPECT_NE(run_summary(one, "w2", sim::SchemeKind::kDelta),
+            run_summary(quick16(1), "w2", sim::SchemeKind::kDelta));
+}
+
+TEST(Intra, ByteIdenticalAcrossApplySliceSizes) {
+  // The apply-task slice size is pure scheduling: any value (including the
+  // degenerate one-round slices) must reproduce the serial bytes.
+  const std::string serial = run_summary(quick16(1), "w2", sim::SchemeKind::kDelta);
+  for (const int rounds : {1, 3, 1000}) {
+    sim::MachineConfig cfg = quick16(4);
+    cfg.intra_apply_rounds = rounds;
+    EXPECT_EQ(serial, run_summary(cfg, "w2", sim::SchemeKind::kDelta))
+        << "intra_apply_rounds " << rounds << " diverged";
   }
 }
 

@@ -169,6 +169,45 @@ TEST(LintRawIntrinsic, SuppressionWaives) {
   EXPECT_FALSE(has_rule(fs, "raw-intrinsic"));
 }
 
+// ---------------------------------------------------------------- raw-affinity
+
+TEST(LintRawAffinity, FlagsRawAffinityApiAndSchedHeader) {
+  const auto fs = lint(
+      "#include <sched.h>\n"
+      "void pin() {\n"
+      "  cpu_set_t set;\n"
+      "  sched_setaffinity(0, sizeof(set), &set);\n"
+      "  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);\n"
+      "  int cpu = sched_getcpu();\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "raw-affinity"), 5);
+}
+
+TEST(LintRawAffinity, AffinityShimIsExempt) {
+  FileInfo info;
+  info.path_label = "src/common/affinity.hpp";
+  const auto fs = lint_text(info,
+                            "#include <sched.h>\n"
+                            "cpu_set_t set;\n"
+                            "sched_setaffinity(0, sizeof(set), &set);\n");
+  EXPECT_FALSE(has_rule(fs, "raw-affinity"));
+}
+
+TEST(LintRawAffinity, ShimCallsAndCommentsAreClean) {
+  const auto fs = lint(
+      "#include \"common/affinity.hpp\"\n"
+      "// pthread_setaffinity_np lives behind the shim\n"
+      "bool ok = common::pin_current_thread(3);\n"
+      "unsigned n = common::affinity_cpu_count();\n");
+  EXPECT_FALSE(has_rule(fs, "raw-affinity"));
+}
+
+TEST(LintRawAffinity, SuppressionWaives) {
+  const auto fs = lint(
+      "int cpu = sched_getcpu();  // delta-lint: allow(raw-affinity)\n");
+  EXPECT_FALSE(has_rule(fs, "raw-affinity"));
+}
+
 // ---------------------------------------------------------------- ptr-key
 
 TEST(LintPtrKey, FlagsPointerKeyedMapAndSet) {

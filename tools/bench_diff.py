@@ -15,12 +15,20 @@ Only machine-independent numbers are gated:
     kernel; its ~1.0x ratio is printed, not failed).
   * sweep.byte_identical / intra.byte_identical — determinism is binary
     and must hold on every host.
+  * engine_health.barriers_per_epoch (v5) — a structural property of the
+    intra engine (2 per epoch for the fused pipeline section), identical
+    on every host; the fresh value must not exceed the reference.
   * schema — a fresh run on an older schema means the harness and the
     reference have drifted apart; fail loudly rather than compare holes.
 
-Absolute accesses/sec and the sweep/intra speedups are printed for the
-log but never gated: they depend on the runner's core count (a 1-CPU
-host measures ~1x by construction — see docs/performance.md).
+Scaling ratios (sweep.speedup and the intra points, v5) are gated with
+the same slack — but only when BOTH files ran on a multi-core host.  When
+either side records hw_threads == 1 the ratio is ~1x by construction
+(see docs/performance.md), so the gate is skipped with a clear message
+instead of failing a single-CPU runner.
+
+Absolute accesses/sec are printed for the log but never gated: they
+depend on the runner's core count.
 
 Exit status: 0 pass, 1 regression/divergence, 2 usage or malformed input.
 """
@@ -149,6 +157,75 @@ def main():
         if ident is not True:
             failures.append(f"{section}.byte_identical is {ident!r}, not true")
 
+    # v5: structural engine-health gate.  barriers_per_epoch counts pool
+    # barrier crossings per simulated epoch — a property of the engine's
+    # code shape, not of the host — so any increase over the committed
+    # reference is a real architectural regression (e.g. reintroducing a
+    # lockstep phase) and fails on every runner.
+    if new_v >= 5:
+        r = ref.get("engine_health", {}).get("barriers_per_epoch")
+        n = new.get("engine_health", {}).get("barriers_per_epoch")
+        if not isinstance(r, (int, float)) or not isinstance(n, (int, float)):
+            failures.append("engine_health.barriers_per_epoch missing")
+        else:
+            verdict = "ok" if n <= r + 1e-9 else "FAIL"
+            print(f"engine_health.barriers_per_epoch: reference {r:.2f}, "
+                  f"fresh {n:.2f} -> {verdict}")
+            if n > r + 1e-9:
+                failures.append(
+                    f"engine_health.barriers_per_epoch rose from {r:.2f} to "
+                    f"{n:.2f} (a pool section was added per epoch)")
+
+    # v5: scaling-ratio gates, skipped on single-CPU hosts where the
+    # speedup is ~1x by construction and the ratio would only measure
+    # scheduler noise.
+    def scaling_gates():
+        ref_hw = ref.get("hw_threads")
+        new_hw = new.get("hw_threads")
+        for role, hw in (("reference", ref_hw), ("fresh", new_hw)):
+            if not isinstance(hw, (int, float)) or hw <= 1:
+                print(f"scaling gates: SKIPPED — {role} run has hw_threads="
+                      f"{hw!r} (single hardware thread: speedups are ~1x by "
+                      "construction, nothing to gate)")
+                return
+        r = ref.get("sweep", {}).get("speedup")
+        n = new.get("sweep", {}).get("speedup")
+        if isinstance(r, (int, float)) and isinstance(n, (int, float)) and r > 0:
+            floor = args.slack * r
+            verdict = "ok" if n >= floor else "FAIL"
+            print(f"sweep.speedup: reference {r:.2f}x, fresh {n:.2f}x, "
+                  f"floor {floor:.2f}x -> {verdict}")
+            if n < floor:
+                failures.append(f"sweep.speedup {n:.2f}x below floor "
+                                f"{floor:.2f}x ({args.slack} * {r:.2f}x)")
+        ref_pts = {p.get("intra_jobs"): p.get("speedup_vs_serial")
+                   for p in ref.get("intra", {}).get("points", [])
+                   if isinstance(p, dict)}
+        for p in new.get("intra", {}).get("points", []):
+            if not isinstance(p, dict):
+                continue
+            jobs_n = p.get("intra_jobs")
+            n = p.get("speedup_vs_serial")
+            r = ref_pts.get(jobs_n)
+            if (not isinstance(jobs_n, (int, float)) or jobs_n <= 1 or
+                    not isinstance(n, (int, float))):
+                continue
+            if not isinstance(r, (int, float)) or r <= 0:
+                print(f"intra --intra-jobs {jobs_n}: {n:.2f}x "
+                      "(not gated; no reference point)")
+                continue
+            floor = args.slack * r
+            verdict = "ok" if n >= floor else "FAIL"
+            print(f"intra --intra-jobs {jobs_n} speedup: reference {r:.2f}x, "
+                  f"fresh {n:.2f}x, floor {floor:.2f}x -> {verdict}")
+            if n < floor:
+                failures.append(
+                    f"intra --intra-jobs {jobs_n} speedup {n:.2f}x below "
+                    f"floor {floor:.2f}x ({args.slack} * {r:.2f}x)")
+
+    if new_v >= 5:
+        scaling_gates()
+
     # Informational only (machine-dependent): single-thread throughput and
     # the parallel speedups on this runner.  Scheme keys the reference has
     # never heard of (a newer harness grew a scheme) are fine — warn and
@@ -170,10 +247,14 @@ def main():
         note = "" if scheme in ref_schemes else ", not in reference"
         print(f"simulator.{scheme}: {v.get('accesses_per_sec', 0):.3g} acc/s "
               f"(not gated{note})")
-    for p in new.get("intra", {}).get("points", []):
-        print(f"intra --intra-jobs {p.get('intra_jobs')}: "
-              f"{p.get('speedup_vs_serial', 0):.2f}x vs serial (not gated; "
-              f"hw_threads={new.get('hw_threads')})")
+    scaling_active = (new_v >= 5 and
+                      all(isinstance(d.get("hw_threads"), (int, float)) and
+                          d.get("hw_threads") > 1 for d in (ref, new)))
+    if not scaling_active:
+        for p in new.get("intra", {}).get("points", []):
+            print(f"intra --intra-jobs {p.get('intra_jobs')}: "
+                  f"{p.get('speedup_vs_serial', 0):.2f}x vs serial (not gated; "
+                  f"hw_threads={new.get('hw_threads')})")
     irr = new.get("irregular")
     if isinstance(irr, dict):
         print(f"irregular ({irr.get('mix')}, {irr.get('scheme')}): "

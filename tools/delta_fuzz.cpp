@@ -31,6 +31,8 @@ Options:
                       0 = hardware threads).  Byte-identical at any value,
                       so combined with the determinism check this drives
                       the intra-run engine end to end.
+  --intra-pin         Pin intra-run workers to CPUs (best-effort, no-op on
+                      unsupported hosts; never affects results).
   --repro SEED        Run exactly one seed, verbose, and exit.
   --sweep-interval N  Residency-sweep cadence in epochs (default 4, 0 = off).
   --out-dir DIR       Write summary JSON + per-failure reports into DIR.
@@ -91,7 +93,7 @@ int main(int argc, char** argv) {
       "seeds",          "seed-base",      "threads",       "intra-jobs",
       "repro",          "sweep-interval", "out-dir",       "no-invariants",
       "no-differential","no-determinism", "no-lockstep",   "prof-out",
-      "metrics-out",    "prof-level",     "help"};
+      "metrics-out",    "prof-level",     "intra-pin",     "help"};
   const auto unknown = args.unknown_flags(known);
   if (!unknown.empty()) {
     for (const auto& f : unknown)
@@ -130,6 +132,7 @@ int main(int argc, char** argv) {
   opt.cases = static_cast<int>(args.get_int("seeds", 25));
   opt.threads = static_cast<unsigned>(args.get_int("threads", 1));
   opt.intra_jobs = static_cast<int>(args.get_int("intra-jobs", 1));
+  opt.intra_pin = args.has("intra-pin");
   opt.sweep_interval = static_cast<int>(args.get_int("sweep-interval", 4));
   opt.lockstep = !args.has("no-lockstep");
   opt.check_invariants = !args.has("no-invariants");

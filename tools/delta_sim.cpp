@@ -133,6 +133,7 @@ int main(int argc, char** argv) {
       "warmup",     "seed",         "csv",      "list",        "central-ms",
       "trace-out",  "timeline-csv", "json",     "obs-level",   "jobs",
       "intra-jobs", "prof-out",     "prof-level", "metrics-out", "help",
+      "intra-pin",  "interleave-batch", "intra-apply-rounds",
   };
   if (!args.unknown_flags(known).empty() || args.has("help")) {
     for (const auto& f : args.unknown_flags(known))
@@ -150,6 +151,16 @@ int main(int argc, char** argv) {
                  "                 [--intra-jobs N]   (threads inside each "
                  "simulation; 1 = serial, 0 = auto;\n"
                  "                                     byte-identical results "
+                 "at any value)\n"
+                 "                 [--intra-pin]   (pin intra workers to CPUs; "
+                 "best-effort, results unchanged)\n"
+                 "                 [--interleave-batch N]   (accesses per core "
+                 "per round; 0 = compile default;\n"
+                 "                                           changes results, "
+                 "but serial == intra at any N)\n"
+                 "                 [--intra-apply-rounds N]   (apply-task slice "
+                 "size in rounds; 0 = auto;\n"
+                 "                                             byte-identical "
                  "at any value)\n"
                  "                 [--prof-out prof.json]   (engine "
                  "self-profiling flamegraph, Chrome trace format)\n"
@@ -179,6 +190,12 @@ int main(int argc, char** argv) {
   // Intra-run engine threads (sim/intra.hpp): results are byte-identical at
   // any value, so this is safe to combine with every other flag.
   cfg.intra_jobs = static_cast<int>(args.get_int("intra-jobs", 1));
+  cfg.intra_pin = args.has("intra-pin");
+  cfg.intra_apply_rounds = static_cast<int>(args.get_int("intra-apply-rounds", 0));
+  // Part of the determinism contract: changing the batch changes results,
+  // but serial and intra engines agree at any given value.
+  cfg.interleave_batch =
+      static_cast<std::uint32_t>(args.get_int("interleave-batch", 0));
 
   workload::Mix mix;
   if (args.has("apps")) {

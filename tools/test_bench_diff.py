@@ -7,6 +7,11 @@ The gate's contract, pinned here:
     grew a scheme the committed reference has never heard of — warn but do
     NOT fail, and malformed (non-object) entries are skipped with a warning;
   * a cache-kernel ratio below the slack floor fails (exit 1);
+  * engine_health.barriers_per_epoch (v5) is structural: any increase over
+    the reference fails on every host, and a missing value fails too;
+  * the sweep/intra scaling-ratio gates (v5) fail on a regression when both
+    runs were multi-core, and are SKIPPED with a clear message when either
+    side recorded hw_threads == 1;
   * a schema mismatch is a usage error (exit 2).
 """
 import json
@@ -19,10 +24,13 @@ import unittest
 TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_diff.py")
 
 
-def doc(schema="delta-bench-throughput-v4", hit=2.0, thrash=1.5,
-        simulator=None, backend="sse2", match=3.0, find=2.0):
+def doc(schema="delta-bench-throughput-v5", hit=2.0, thrash=1.5,
+        simulator=None, backend="sse2", match=3.0, find=2.0,
+        hw_threads=1, sweep_speedup=1.0, intra8=1.0,
+        barriers_per_epoch=2.0):
     return {
         "schema": schema,
+        "hw_threads": hw_threads,
         "cache_kernel": {
             "replay_identical": True,
             "hit_heavy": {"new_over_legacy": hit},
@@ -35,8 +43,15 @@ def doc(schema="delta-bench-throughput-v4", hit=2.0, thrash=1.5,
         },
         "irregular": {"mix": "wi1", "scheme": "delta",
                       "accesses_per_sec": 5e5},
-        "sweep": {"byte_identical": True},
-        "intra": {"byte_identical": True, "points": []},
+        "sweep": {"byte_identical": True, "speedup": sweep_speedup},
+        "intra": {"byte_identical": True, "points": [
+            {"intra_jobs": 1, "speedup_vs_serial": 1.0},
+            {"intra_jobs": 8, "speedup_vs_serial": intra8},
+        ]},
+        "engine_health": {"barriers_per_epoch": barriers_per_epoch,
+                          "tasks_per_epoch": 200.0,
+                          "steal_fraction": 0.1,
+                          "stage_apply_overlap_fraction": 0.5},
         "simulator": simulator if simulator is not None
         else {"snuca": {"accesses_per_sec": 1e6}},
     }
@@ -117,6 +132,53 @@ class BenchDiffTest(unittest.TestCase):
         r = self.run_diff(doc(), doc(schema="delta-bench-throughput-v999"))
         self.assertEqual(r.returncode, 2)
         self.assertIn("schema mismatch", r.stderr)
+
+    def test_barriers_per_epoch_increase_fails(self):
+        r = self.run_diff(doc(barriers_per_epoch=2.0),
+                          doc(barriers_per_epoch=6.0))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("barriers_per_epoch", r.stderr)
+
+    def test_barriers_per_epoch_equal_passes(self):
+        r = self.run_diff(doc(barriers_per_epoch=2.0),
+                          doc(barriers_per_epoch=2.0))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("engine_health.barriers_per_epoch", r.stdout)
+
+    def test_missing_engine_health_fails_on_v5(self):
+        fresh = doc()
+        del fresh["engine_health"]
+        r = self.run_diff(doc(), fresh)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("engine_health.barriers_per_epoch missing", r.stderr)
+
+    def test_scaling_gates_skipped_on_single_cpu_reference(self):
+        # The committed reference was generated on a 1-thread host: the
+        # scaling ratios are ~1x by construction there, so a fast fresh run
+        # must not be gated against them (and vice versa).
+        r = self.run_diff(doc(hw_threads=1),
+                          doc(hw_threads=8, sweep_speedup=3.0, intra8=4.0))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("scaling gates: SKIPPED", r.stdout)
+        self.assertIn("hw_threads=1", r.stdout)
+
+    def test_scaling_gates_skipped_on_single_cpu_fresh(self):
+        r = self.run_diff(doc(hw_threads=8, sweep_speedup=3.0, intra8=4.0),
+                          doc(hw_threads=1))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("scaling gates: SKIPPED", r.stdout)
+
+    def test_scaling_regression_fails_on_multicore(self):
+        r = self.run_diff(doc(hw_threads=8, sweep_speedup=3.0, intra8=4.0),
+                          doc(hw_threads=8, sweep_speedup=3.0, intra8=1.0))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("intra --intra-jobs 8", r.stderr)
+
+    def test_healthy_scaling_passes_on_multicore(self):
+        r = self.run_diff(doc(hw_threads=8, sweep_speedup=3.0, intra8=4.0),
+                          doc(hw_threads=8, sweep_speedup=2.8, intra8=4.2))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("intra --intra-jobs 8 speedup", r.stdout)
 
 
 if __name__ == "__main__":
